@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artefacts (see
+the experiment index in DESIGN.md) at a scale that completes in seconds.
+Benchmarks run the experiment exactly once per measurement round
+(``pedantic`` mode) because the quantities of interest are the experiment
+outputs themselves, not micro-timings; the printed summary after the run
+shows the reproduced values next to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+#: Collected (artefact, reproduced, paper) rows printed at the end of a run.
+_REPRODUCTION_ROWS: List[Dict[str, object]] = []
+
+
+def record_reproduction(artefact: str, reproduced: object, paper: object) -> None:
+    """Register a reproduced-vs-paper comparison for the final summary."""
+    _REPRODUCTION_ROWS.append(
+        {"artefact": artefact, "reproduced": reproduced, "paper": paper}
+    )
+
+
+@pytest.fixture
+def record():
+    """Fixture exposing :func:`record_reproduction` to benchmarks."""
+    return record_reproduction
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print the reproduced-vs-paper table after the benchmark run."""
+    if not _REPRODUCTION_ROWS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction summary")
+    width = max(len(str(row["artefact"])) for row in _REPRODUCTION_ROWS) + 2
+    terminalreporter.write_line(
+        f"{'artefact'.ljust(width)}{'reproduced'.ljust(28)}paper"
+    )
+    for row in _REPRODUCTION_ROWS:
+        terminalreporter.write_line(
+            f"{str(row['artefact']).ljust(width)}"
+            f"{str(row['reproduced']).ljust(28)}{row['paper']}"
+        )

@@ -1,0 +1,42 @@
+"""Protocol comparison: regenerate Table IV from the command line.
+
+Runs FileInsurer, Filecoin, Arweave, Storj and Sia on the same workload and
+the same corruption budget (random and targeted), prints the paper's Yes/No
+property table with the empirical evidence columns, and sweeps the
+corruption fraction to show where each protocol starts losing data.
+
+Run with ``python examples/protocol_comparison.py``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.comparison import ComparisonHarness
+from repro.experiments.table4 import main as table4_main
+from repro.sim.metrics import format_table
+
+
+def corruption_sweep() -> None:
+    """Loss ratio of every protocol as the targeted adversary's budget grows."""
+    rows = []
+    for fraction in (0.1, 0.2, 0.3, 0.4, 0.5):
+        harness = ComparisonHarness(
+            n_sectors=150, n_files=300, corruption_fraction=fraction, seed=11
+        )
+        row = {"corrupted": f"{fraction:.0%}"}
+        for result in harness.run():
+            row[result.protocol] = round(result.loss_ratio_targeted, 3)
+        rows.append(row)
+    print("\nValue-loss ratio under a *targeted* adversary corrupting a growing "
+          "fraction of sectors:")
+    print(format_table(rows))
+    print("\nFileInsurer's randomised, refreshed placement keeps the targeted "
+          "loss near the random-failure level, which is what Theorem 3 bounds.")
+
+
+def main() -> None:
+    table4_main(n_sectors=200, n_files=400, corruption_fraction=0.3, seed=0)
+    corruption_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Baseline DSN protocol models for the Table IV comparison.
+
+The paper compares FileInsurer against Filecoin, Arweave, Storj and Sia on
+four properties: capacity scalability, Sybil-attack prevention, provable
+robustness and compensation for file loss.  This package models the
+*placement, proof and economic* behaviour of each protocol at the level
+the comparison needs -- who stores which file, what happens when storage
+collapses, and who (if anyone) gets paid -- evaluated under the same
+adversary harness as FileInsurer.
+"""
+
+from repro.baselines.arweave import ArweaveModel
+from repro.baselines.base import BaselineDSN, LossReport, StoredFile
+from repro.baselines.comparison import ComparisonHarness, ProtocolProperties
+from repro.baselines.filecoin import FilecoinModel
+from repro.baselines.fileinsurer_model import FileInsurerModel
+from repro.baselines.sia import SiaModel
+from repro.baselines.storj import StorjModel
+
+__all__ = [
+    "ArweaveModel",
+    "BaselineDSN",
+    "ComparisonHarness",
+    "FileInsurerModel",
+    "FilecoinModel",
+    "LossReport",
+    "ProtocolProperties",
+    "SiaModel",
+    "StorjModel",
+]

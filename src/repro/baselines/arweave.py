@@ -1,0 +1,65 @@
+"""Arweave baseline model.
+
+Arweave's Proof of Access makes mining require random old blocks, which
+incentivises miners to store as much of the weave as possible; files are
+therefore replicated across a random subset of miners whose size grows
+with the miner's participation.  Storage is paid once and permanent, but
+there is no deposit/insurance: if every holder of a piece of data
+disappears, the data is gone and nobody is compensated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.baselines.base import BaselineDSN, StoredFile
+
+__all__ = ["ArweaveModel"]
+
+
+class ArweaveModel(BaselineDSN):
+    """Arweave: probabilistic wide replication driven by Proof of Access."""
+
+    name = "Arweave"
+
+    def __init__(
+        self,
+        n_sectors: int,
+        sector_capacity: float,
+        seed: int = 0,
+        replication_fraction: float = 0.15,
+        min_replicas: int = 2,
+    ) -> None:
+        super().__init__(n_sectors, sector_capacity, seed)
+        if not 0 < replication_fraction <= 1:
+            raise ValueError("replication_fraction must lie in (0, 1]")
+        self.replication_fraction = replication_fraction
+        self.min_replicas = min_replicas
+
+    def _place(self, size: float, value: float) -> Tuple[Sequence[int], int, float]:
+        count = max(self.min_replicas, int(round(self.replication_fraction * self.n_sectors)))
+        count = min(count, self.n_sectors)
+        placements = [
+            int(sector)
+            for sector in self.rng.choice(self.n_sectors, size=count, replace=False)
+        ]
+        return placements, 1, size
+
+    def compensation_for(self, stored: StoredFile) -> float:
+        """Permanent storage has no insurance component."""
+        return 0.0
+
+    @property
+    def prevents_sybil_attacks(self) -> bool:
+        """Proof of Access requires miners to actually hold the data."""
+        return True
+
+    @property
+    def provable_robustness(self) -> bool:
+        """Replication is incentive-driven, not provably adversary-resistant."""
+        return False
+
+    @property
+    def full_compensation(self) -> bool:
+        """No compensation mechanism exists."""
+        return False

@@ -1,0 +1,203 @@
+"""Common interface of the DSN models compared in Table IV.
+
+A model owns ``n_sectors`` storage units of equal capacity, accepts files
+(each with a size and a value), places the file's redundancy units
+(replicas or shards) on sectors according to the protocol's placement
+policy, and reports losses and compensation after an adversary corrupts a
+set of sectors.  The interface is intentionally small so all five protocols
+can be driven by one comparison harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["StoredFile", "LossReport", "BaselineDSN"]
+
+
+@dataclass
+class StoredFile:
+    """One file stored in a baseline model."""
+
+    file_id: int
+    size: float
+    value: float
+    #: Sector index hosting each redundancy unit (replica or shard).
+    placements: Tuple[int, ...]
+    #: Units needed to reconstruct the file (1 for replication schemes,
+    #: the data-shard count for erasure schemes).
+    units_needed: int = 1
+
+
+@dataclass(frozen=True)
+class LossReport:
+    """Outcome of a corruption event."""
+
+    protocol: str
+    corrupted_sectors: int
+    corrupted_fraction: float
+    lost_files: int
+    total_files: int
+    lost_value: float
+    total_value: float
+    compensation_paid: float
+
+    @property
+    def value_loss_ratio(self) -> float:
+        """Fraction of stored value destroyed."""
+        return self.lost_value / self.total_value if self.total_value else 0.0
+
+    @property
+    def compensation_ratio(self) -> float:
+        """Compensation paid per unit of lost value (1.0 means full)."""
+        return self.compensation_paid / self.lost_value if self.lost_value else 1.0
+
+
+class BaselineDSN(abc.ABC):
+    """Abstract base of the five compared DSN models."""
+
+    #: Human-readable protocol name used in reports.
+    name: str = "abstract"
+
+    def __init__(self, n_sectors: int, sector_capacity: float, seed: int = 0) -> None:
+        if n_sectors <= 0 or sector_capacity <= 0:
+            raise ValueError("n_sectors and sector_capacity must be positive")
+        self.n_sectors = n_sectors
+        self.sector_capacity = float(sector_capacity)
+        self.rng = np.random.default_rng(seed)
+        self.used = np.zeros(n_sectors, dtype=float)
+        self.files: List[StoredFile] = []
+        self.corrupted: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def store_file(self, size: float, value: float) -> StoredFile:
+        """Place a file according to the protocol's placement policy."""
+        if size <= 0 or value <= 0:
+            raise ValueError("size and value must be positive")
+        placements, units_needed, per_unit_size = self._place(size, value)
+        stored = StoredFile(
+            file_id=len(self.files),
+            size=size,
+            value=value,
+            placements=tuple(placements),
+            units_needed=units_needed,
+        )
+        for sector in placements:
+            self.used[sector] += per_unit_size
+        self.files.append(stored)
+        return stored
+
+    @abc.abstractmethod
+    def _place(self, size: float, value: float) -> Tuple[Sequence[int], int, float]:
+        """Return ``(sector indices, units needed to recover, per-unit size)``."""
+
+    def store_many(self, sizes: Sequence[float], values: Sequence[float]) -> None:
+        """Store a batch of files."""
+        for size, value in zip(sizes, values):
+            self.store_file(size, value)
+
+    # ------------------------------------------------------------------
+    # Corruption and loss
+    # ------------------------------------------------------------------
+    def corrupt_sectors(self, sectors: Sequence[int]) -> None:
+        """Mark sectors as corrupted (idempotent)."""
+        for sector in sectors:
+            if not 0 <= sector < self.n_sectors:
+                raise IndexError(f"sector index {sector} out of range")
+            self.corrupted.add(int(sector))
+
+    def corrupt_fraction(self, fraction: float, targeted: bool = False) -> List[int]:
+        """Corrupt a fraction of sectors, randomly or adversarially.
+
+        The targeted variant asks the protocol-specific
+        :meth:`_adversarial_targets` which sectors an informed adversary
+        would pick first.
+        """
+        if not 0 <= fraction <= 1:
+            raise ValueError("fraction must lie in [0, 1]")
+        count = int(round(fraction * self.n_sectors))
+        if targeted:
+            order = self._adversarial_targets()
+        else:
+            order = list(self.rng.permutation(self.n_sectors))
+        chosen = [int(s) for s in order[:count]]
+        self.corrupt_sectors(chosen)
+        return chosen
+
+    def _adversarial_targets(self) -> List[int]:
+        """Default informed-adversary ordering: most replicas hosted first."""
+        load = np.zeros(self.n_sectors, dtype=float)
+        for stored in self.files:
+            for sector in stored.placements:
+                load[sector] += stored.value / max(len(stored.placements), 1)
+        return list(np.argsort(-load))
+
+    def file_is_lost(self, stored: StoredFile) -> bool:
+        """True if too few of the file's units survive for recovery."""
+        surviving = sum(1 for sector in stored.placements if sector not in self.corrupted)
+        return surviving < stored.units_needed
+
+    def lost_files(self) -> List[StoredFile]:
+        """All files currently unrecoverable."""
+        return [stored for stored in self.files if self.file_is_lost(stored)]
+
+    # ------------------------------------------------------------------
+    # Economics
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def compensation_for(self, stored: StoredFile) -> float:
+        """Compensation the owner of a lost file receives."""
+
+    # ------------------------------------------------------------------
+    # Properties compared in Table IV
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def prevents_sybil_attacks(self) -> bool:
+        """Whether replicas are bound to provider identities (PoRep-style)."""
+
+    @property
+    @abc.abstractmethod
+    def provable_robustness(self) -> bool:
+        """Whether the protocol proves a loss bound under adversarial corruption."""
+
+    @property
+    @abc.abstractmethod
+    def full_compensation(self) -> bool:
+        """Whether lost files are compensated at full declared value."""
+
+    @property
+    def capacity_scalable(self) -> bool:
+        """All compared protocols distribute storage, so default to True."""
+        return True
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> LossReport:
+        """Summarise losses and compensation after corruption."""
+        lost = self.lost_files()
+        lost_value = sum(stored.value for stored in lost)
+        compensation = sum(self.compensation_for(stored) for stored in lost)
+        return LossReport(
+            protocol=self.name,
+            corrupted_sectors=len(self.corrupted),
+            corrupted_fraction=len(self.corrupted) / self.n_sectors,
+            lost_files=len(lost),
+            total_files=len(self.files),
+            lost_value=lost_value,
+            total_value=sum(stored.value for stored in self.files),
+            compensation_paid=compensation,
+        )
+
+    def max_capacity_usage(self) -> float:
+        """Maximum per-sector usage ratio (scalability diagnostics)."""
+        if self.sector_capacity <= 0:
+            return 0.0
+        return float(self.used.max()) / self.sector_capacity

@@ -1,0 +1,75 @@
+"""Filecoin baseline model.
+
+Filecoin's Storage Market lets clients negotiate deals with specific
+miners; a file typically has a small, client-chosen set of replicas, and
+placement is driven by price/locality rather than network-enforced
+randomness.  Sector deposits exist but are *burnt* on faults rather than
+paid to the affected clients (Section II-B2), so compensation is at best
+limited.  Replicas are PoRep-sealed, so Sybil attacks are prevented.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaselineDSN, StoredFile
+
+__all__ = ["FilecoinModel"]
+
+
+class FilecoinModel(BaselineDSN):
+    """Filecoin: deal-based placement, deposits burnt on faults."""
+
+    name = "Filecoin"
+
+    def __init__(
+        self,
+        n_sectors: int,
+        sector_capacity: float,
+        seed: int = 0,
+        replicas_per_file: int = 3,
+        preferred_pool_fraction: float = 0.2,
+        burnt_refund_fraction: float = 0.05,
+    ) -> None:
+        super().__init__(n_sectors, sector_capacity, seed)
+        self.replicas_per_file = replicas_per_file
+        #: Clients cluster their deals on a "popular" subset of miners
+        #: (cheapest / best connected), which is what breaks provable
+        #: robustness: an adversary corrupting that subset destroys a
+        #: disproportionate share of files.
+        pool_size = max(replicas_per_file, int(preferred_pool_fraction * n_sectors))
+        self.preferred_pool = list(self.rng.permutation(n_sectors)[:pool_size])
+        #: Fraction of a lost file's value effectively recovered by the
+        #: client (protocol-level slashing does not flow to clients; the
+        #: small non-zero default models off-protocol goodwill refunds,
+        #: matching the paper's "provides only limited compensation").
+        self.burnt_refund_fraction = burnt_refund_fraction
+
+    def _place(self, size: float, value: float) -> Tuple[Sequence[int], int, float]:
+        count = min(self.replicas_per_file, len(self.preferred_pool))
+        placements = [
+            int(sector)
+            for sector in self.rng.choice(self.preferred_pool, size=count, replace=False)
+        ]
+        return placements, 1, size
+
+    def compensation_for(self, stored: StoredFile) -> float:
+        """Deposits are burnt; clients recover only a marginal fraction."""
+        return self.burnt_refund_fraction * stored.value
+
+    @property
+    def prevents_sybil_attacks(self) -> bool:
+        """PoRep + WindowPoSt bind replicas to miners."""
+        return True
+
+    @property
+    def provable_robustness(self) -> bool:
+        """Placement is client-chosen, so no network-wide loss bound holds."""
+        return False
+
+    @property
+    def full_compensation(self) -> bool:
+        """Slashing burns deposits instead of compensating clients."""
+        return False

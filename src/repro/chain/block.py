@@ -1,0 +1,71 @@
+"""Blocks and block headers.
+
+The chain substrate batches executed transactions into blocks bound by a
+hash chain.  FileInsurer's allocation table and pending list are part of
+network consensus; the block structure carries a state-root commitment over
+them so the tests can check that every node processing the same blocks
+arrives at the same DSN state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.chain.transaction import Transaction, TransactionReceipt
+from repro.crypto.hashing import hash_concat
+from repro.crypto.merkle import merkle_root
+
+__all__ = ["BlockHeader", "Block"]
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Header committing to a block's contents and its parent."""
+
+    height: int
+    parent_hash: bytes
+    transactions_root: bytes
+    state_root: bytes
+    timestamp: float
+    producer: str
+    beacon_value: bytes
+
+    @property
+    def block_hash(self) -> bytes:
+        """Hash of the serialised header fields."""
+        return hash_concat(
+            self.height.to_bytes(8, "big"),
+            self.parent_hash,
+            self.transactions_root,
+            self.state_root,
+            repr(self.timestamp).encode("utf-8"),
+            self.producer.encode("utf-8"),
+            self.beacon_value,
+        )
+
+
+@dataclass
+class Block:
+    """A block: a header plus the transactions (and receipts) it executed."""
+
+    header: BlockHeader
+    transactions: List[Transaction] = field(default_factory=list)
+    receipts: List[TransactionReceipt] = field(default_factory=list)
+
+    @property
+    def block_hash(self) -> bytes:
+        """Hash of the block header."""
+        return self.header.block_hash
+
+    @property
+    def height(self) -> int:
+        """Block height."""
+        return self.header.height
+
+    @staticmethod
+    def transactions_root(transactions: Sequence[Transaction]) -> bytes:
+        """Merkle root over the transaction hashes (empty root for no txs)."""
+        if not transactions:
+            return hash_concat(b"empty-transactions")
+        return merkle_root([tx.tx_hash for tx in transactions])

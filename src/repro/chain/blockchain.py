@@ -1,0 +1,215 @@
+"""Block production with capacity-weighted leader election.
+
+The paper relies on Filecoin-style Expected Consensus, whose security it
+assumes rather than analyses.  This module provides a deterministic,
+single-process chain that:
+
+* elects a block producer each epoch via WinningPoSt-style tickets weighted
+  by proven storage capacity;
+* executes queued transactions against a pluggable application (the
+  FileInsurer protocol registers itself as the application);
+* commits an application state root into every block header so replayed
+  histories can be checked for determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.gas import GasSchedule
+from repro.chain.ledger import Ledger
+from repro.chain.transaction import Transaction, TransactionReceipt
+from repro.crypto.beacon import RandomBeacon
+from repro.crypto.hashing import hash_concat
+from repro.crypto.post import WinningPoSt
+
+__all__ = ["ChainApplication", "ConsensusConfig", "Blockchain"]
+
+
+class ChainApplication(Protocol):
+    """Interface the hosted application (the DSN) must implement."""
+
+    def execute_transaction(self, transaction: Transaction) -> TransactionReceipt:
+        """Execute one transaction and return its receipt."""
+
+    def on_new_block(self, height: int, timestamp: float, beacon_value: bytes) -> None:
+        """Hook called once per block before transactions execute."""
+
+    def state_root(self) -> bytes:
+        """Commitment to the application state."""
+
+
+@dataclass(frozen=True)
+class ConsensusConfig:
+    """Consensus parameters."""
+
+    epoch_seconds: float = 30.0
+    genesis_timestamp: float = 0.0
+    max_transactions_per_block: int = 10_000
+
+
+class _NullApplication:
+    """Default application used when the chain runs stand-alone."""
+
+    def execute_transaction(self, transaction: Transaction) -> TransactionReceipt:
+        return TransactionReceipt(transaction=transaction, success=True, gas_used=0)
+
+    def on_new_block(self, height: int, timestamp: float, beacon_value: bytes) -> None:
+        return None
+
+    def state_root(self) -> bytes:
+        return hash_concat(b"null-application")
+
+
+class Blockchain:
+    """A deterministic chain hosting the DSN application."""
+
+    def __init__(
+        self,
+        ledger: Optional[Ledger] = None,
+        beacon: Optional[RandomBeacon] = None,
+        config: Optional[ConsensusConfig] = None,
+        application: Optional[ChainApplication] = None,
+        gas_schedule: Optional[GasSchedule] = None,
+    ) -> None:
+        self.ledger = ledger or Ledger()
+        self.beacon = beacon or RandomBeacon()
+        self.config = config or ConsensusConfig()
+        self.gas_schedule = gas_schedule or GasSchedule()
+        self._application: ChainApplication = application or _NullApplication()
+        self._winning_post = WinningPoSt()
+        self._mempool: List[Transaction] = []
+        self._blocks: List[Block] = []
+        self._capacity: Dict[str, int] = {}
+        self._receipts_by_hash: Dict[bytes, TransactionReceipt] = {}
+        self._create_genesis()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def set_application(self, application: ChainApplication) -> None:
+        """Attach the hosted application (called once by the DSN)."""
+        self._application = application
+
+    def _create_genesis(self) -> None:
+        header = BlockHeader(
+            height=0,
+            parent_hash=hash_concat(b"genesis-parent"),
+            transactions_root=Block.transactions_root([]),
+            state_root=hash_concat(b"genesis-state"),
+            timestamp=self.config.genesis_timestamp,
+            producer="@genesis",
+            beacon_value=self.beacon.output(0).value,
+        )
+        self._blocks.append(Block(header=header))
+
+    # ------------------------------------------------------------------
+    # Provider capacity registration (for leader election)
+    # ------------------------------------------------------------------
+    def register_capacity(self, provider: str, capacity_units: int) -> None:
+        """Record ``provider``'s proven capacity for leader election."""
+        if capacity_units < 0:
+            raise ValueError("capacity_units must be non-negative")
+        if capacity_units == 0:
+            self._capacity.pop(provider, None)
+        else:
+            self._capacity[provider] = capacity_units
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def submit(self, transaction: Transaction) -> None:
+        """Queue a transaction for inclusion in the next block."""
+        self._mempool.append(transaction)
+
+    def pending_transactions(self) -> Sequence[Transaction]:
+        """Transactions waiting in the mempool."""
+        return tuple(self._mempool)
+
+    def receipt(self, tx_hash: bytes) -> Optional[TransactionReceipt]:
+        """Look up the receipt of an executed transaction."""
+        return self._receipts_by_hash.get(tx_hash)
+
+    # ------------------------------------------------------------------
+    # Block production
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Height of the chain tip."""
+        return self._blocks[-1].height
+
+    @property
+    def tip(self) -> Block:
+        """The latest block."""
+        return self._blocks[-1]
+
+    def blocks(self) -> Sequence[Block]:
+        """All blocks, genesis first."""
+        return tuple(self._blocks)
+
+    def current_time(self) -> float:
+        """Chain time at the tip."""
+        return self.tip.header.timestamp
+
+    def elect_producer(self, epoch: int, beacon_value: bytes) -> str:
+        """Elect the block producer for ``epoch`` (falls back to ``@network``)."""
+        if not self._capacity:
+            return "@network"
+        candidates = [
+            (provider.encode("utf-8"), units) for provider, units in sorted(self._capacity.items())
+        ]
+        winner = self._winning_post.elect(candidates, epoch, beacon_value)
+        return winner.decode("utf-8") if winner else "@network"
+
+    def produce_block(self) -> Block:
+        """Produce the next block: elect a leader, execute the mempool."""
+        height = self.height + 1
+        timestamp = self.config.genesis_timestamp + height * self.config.epoch_seconds
+        beacon_value = self.beacon.output(height).value
+        producer = self.elect_producer(height, beacon_value)
+
+        self._application.on_new_block(height, timestamp, beacon_value)
+
+        batch = self._mempool[: self.config.max_transactions_per_block]
+        self._mempool = self._mempool[self.config.max_transactions_per_block :]
+        receipts: List[TransactionReceipt] = []
+        for transaction in batch:
+            receipt = self._application.execute_transaction(transaction)
+            receipt.block_height = height
+            receipts.append(receipt)
+            self._receipts_by_hash[transaction.tx_hash] = receipt
+
+        header = BlockHeader(
+            height=height,
+            parent_hash=self.tip.block_hash,
+            transactions_root=Block.transactions_root(batch),
+            state_root=self._application.state_root(),
+            timestamp=timestamp,
+            producer=producer,
+            beacon_value=beacon_value,
+        )
+        block = Block(header=header, transactions=list(batch), receipts=receipts)
+        self._blocks.append(block)
+        return block
+
+    def run_epochs(self, count: int) -> List[Block]:
+        """Produce ``count`` consecutive blocks."""
+        return [self.produce_block() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate_chain(self) -> bool:
+        """Check the hash chain and height continuity of all blocks."""
+        for previous, current in zip(self._blocks, self._blocks[1:]):
+            if current.header.parent_hash != previous.block_hash:
+                return False
+            if current.height != previous.height + 1:
+                return False
+            if not self.beacon.verify(
+                type(self.beacon.output(0))(round=current.height, value=current.header.beacon_value)
+            ):
+                return False
+        return True

@@ -1,0 +1,108 @@
+"""Gas metering and the fee schedule for on-chain operations.
+
+Section IV-A of the paper: every request to the network pays a gas fee, and
+the *prepaid* gas fee covers the Auto tasks (CheckAlloc, CheckProof,
+Refresh, CheckRefresh) that the pending list executes automatically.  The
+paper notes that tasks placed on the pending list must have a clear upper
+bound on gas used -- this module provides those bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["GasSchedule", "GasMeter", "OutOfGasError"]
+
+
+class OutOfGasError(Exception):
+    """Raised when an operation exceeds its gas allowance."""
+
+
+@dataclass(frozen=True)
+class GasSchedule:
+    """Fixed gas costs per protocol operation.
+
+    The absolute numbers are arbitrary units; what matters to the protocol
+    and the experiments is that each pending-list task has a deterministic
+    upper bound so the prepaid fee can be computed in advance.
+    """
+
+    file_add: int = 500
+    file_discard: int = 100
+    file_confirm: int = 120
+    file_prove: int = 150
+    sector_register: int = 400
+    sector_disable: int = 100
+    auto_check_alloc: int = 200
+    auto_check_proof: int = 250
+    auto_refresh: int = 220
+    auto_check_refresh: int = 180
+    gas_price: int = 1
+
+    def cost(self, operation: str) -> int:
+        """Gas units charged for ``operation``."""
+        try:
+            return int(getattr(self, operation))
+        except AttributeError:
+            raise KeyError(f"unknown operation {operation!r}") from None
+
+    def fee(self, operation: str) -> int:
+        """Token fee for ``operation`` (gas units times gas price)."""
+        return self.cost(operation) * self.gas_price
+
+    def prepaid_cycle_fee(self, replica_count: int) -> int:
+        """Prepaid gas needed for one proof cycle of a file.
+
+        Each cycle runs one ``Auto CheckProof`` for the file; refreshes are
+        amortised by also reserving the cost of one refresh round
+        (``Auto Refresh`` + ``Auto CheckRefresh``) scaled by the expected
+        probability of a refresh per cycle.  We charge the full refresh cost
+        to keep the bound conservative, as the paper requires an upper
+        bound rather than an expectation.
+        """
+        if replica_count <= 0:
+            raise ValueError("replica_count must be positive")
+        per_cycle = self.auto_check_proof + self.auto_refresh + self.auto_check_refresh
+        return per_cycle * self.gas_price
+
+
+class GasMeter:
+    """Tracks gas consumption within one request or pending-list task."""
+
+    def __init__(self, limit: int, schedule: GasSchedule | None = None) -> None:
+        if limit <= 0:
+            raise ValueError("gas limit must be positive")
+        self.limit = limit
+        self.used = 0
+        self.schedule = schedule or GasSchedule()
+        self._by_operation: Dict[str, int] = {}
+
+    def charge(self, operation: str, multiplier: int = 1) -> int:
+        """Charge the scheduled cost of ``operation`` (times ``multiplier``)."""
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        amount = self.schedule.cost(operation) * multiplier
+        return self.charge_units(amount, operation)
+
+    def charge_units(self, amount: int, label: str = "raw") -> int:
+        """Charge ``amount`` raw gas units."""
+        if amount < 0:
+            raise ValueError("gas amounts are non-negative")
+        if self.used + amount > self.limit:
+            raise OutOfGasError(
+                f"operation {label!r} needs {amount} gas, only "
+                f"{self.limit - self.used} of {self.limit} remains"
+            )
+        self.used += amount
+        self._by_operation[label] = self._by_operation.get(label, 0) + amount
+        return amount
+
+    @property
+    def remaining(self) -> int:
+        """Gas units still available."""
+        return self.limit - self.used
+
+    def breakdown(self) -> Dict[str, int]:
+        """Gas used per operation label."""
+        return dict(self._by_operation)

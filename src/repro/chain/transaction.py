@@ -1,0 +1,69 @@
+"""Transactions: signed requests submitted to the chain.
+
+Client requests (File Add / Discard / Get), provider requests (Sector
+Register / Disable, File Confirm / Prove / Supply) and plain token
+transfers are all represented as :class:`Transaction` objects.  "Signing"
+is simulated: a transaction carries its sender address and a commitment
+hash; the consensus layer trusts the simulation harness to only submit
+transactions on behalf of the actors that created them, which is the same
+trust model the paper uses (consensus security is assumed).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.crypto.hashing import hash_concat
+
+__all__ = ["Transaction", "TransactionReceipt"]
+
+_sequence = itertools.count()
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An on-chain request.
+
+    ``method`` names the protocol entry point (e.g. ``"file_add"``,
+    ``"sector_register"``); ``payload`` carries its arguments as a plain
+    dictionary so transactions remain serialisable and hashable.
+    """
+
+    sender: str
+    method: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    nonce: int = field(default_factory=lambda: next(_sequence))
+
+    @property
+    def tx_hash(self) -> bytes:
+        """Commitment hash binding sender, method, payload and nonce."""
+        encoded_payload = repr(sorted(self.payload.items())).encode("utf-8")
+        return hash_concat(
+            self.sender.encode("utf-8"),
+            self.method.encode("utf-8"),
+            encoded_payload,
+            self.nonce.to_bytes(16, "big"),
+        )
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        return f"{self.method}({self.sender}) nonce={self.nonce}"
+
+
+@dataclass
+class TransactionReceipt:
+    """Result of executing a transaction."""
+
+    transaction: Transaction
+    success: bool
+    gas_used: int
+    block_height: Optional[int] = None
+    error: Optional[str] = None
+    result: Any = None
+
+    @property
+    def tx_hash(self) -> bytes:
+        """Hash of the underlying transaction."""
+        return self.transaction.tx_hash

@@ -1,0 +1,131 @@
+"""Adapter exposing the FileInsurer protocol as a chain application.
+
+The paper notes FileInsurer can run as an independent blockchain or as a
+smart contract / sidechain on an existing chain.  This module implements
+the :class:`repro.chain.blockchain.ChainApplication` interface on top of
+:class:`repro.core.protocol.FileInsurerProtocol`: transactions map onto
+protocol requests, each block advances protocol time to the block
+timestamp (which runs the pending list), and the block header commits to a
+digest of the protocol state so replays can be checked for determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.gas import GasSchedule
+from repro.chain.transaction import Transaction, TransactionReceipt
+from repro.core.params import ProtocolParams
+from repro.core.protocol import FileInsurerProtocol, ProtocolError
+from repro.crypto.hashing import hash_concat
+
+__all__ = ["FileInsurerChainApp"]
+
+
+class FileInsurerChainApp:
+    """Hosts a :class:`FileInsurerProtocol` inside a :class:`Blockchain`."""
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        params: Optional[ProtocolParams] = None,
+        gas_schedule: Optional[GasSchedule] = None,
+        **protocol_kwargs: Any,
+    ) -> None:
+        self.chain = chain
+        self.protocol = FileInsurerProtocol(
+            params=params,
+            ledger=chain.ledger,
+            gas_schedule=gas_schedule or chain.gas_schedule,
+            **protocol_kwargs,
+        )
+        chain.set_application(self)
+        self._gas_schedule = gas_schedule or chain.gas_schedule
+
+    # ------------------------------------------------------------------
+    # ChainApplication interface
+    # ------------------------------------------------------------------
+    def on_new_block(self, height: int, timestamp: float, beacon_value: bytes) -> None:
+        """Advance protocol time to the block timestamp (runs Auto tasks)."""
+        if timestamp > self.protocol.now:
+            self.protocol.advance_time(timestamp)
+
+    def execute_transaction(self, transaction: Transaction) -> TransactionReceipt:
+        """Dispatch a transaction to the matching protocol entry point."""
+        handler = getattr(self, f"_tx_{transaction.method}", None)
+        if handler is None:
+            return TransactionReceipt(
+                transaction=transaction,
+                success=False,
+                gas_used=0,
+                error=f"unknown method {transaction.method!r}",
+            )
+        gas_used = self._gas_cost(transaction.method)
+        try:
+            result = handler(transaction.sender, **transaction.payload)
+        except (ProtocolError, ValueError, KeyError) as exc:
+            return TransactionReceipt(
+                transaction=transaction, success=False, gas_used=gas_used, error=str(exc)
+            )
+        return TransactionReceipt(
+            transaction=transaction, success=True, gas_used=gas_used, result=result
+        )
+
+    def state_root(self) -> bytes:
+        """Digest of the protocol state committed into block headers."""
+        protocol = self.protocol
+        return hash_concat(
+            int(protocol.now * 1000).to_bytes(16, "big"),
+            len(protocol.sectors).to_bytes(8, "big"),
+            len(protocol.files).to_bytes(8, "big"),
+            len(protocol.alloc).to_bytes(8, "big"),
+            protocol.total_value_stored.to_bytes(16, "big"),
+            protocol.total_value_lost.to_bytes(16, "big"),
+        )
+
+    # ------------------------------------------------------------------
+    # Transaction handlers
+    # ------------------------------------------------------------------
+    def _tx_file_add(self, sender: str, size: int, value: int, merkle_root: bytes) -> int:
+        return self.protocol.file_add(sender, size, value, merkle_root)
+
+    def _tx_file_discard(self, sender: str, file_id: int) -> None:
+        self.protocol.file_discard(sender, file_id)
+
+    def _tx_file_confirm(self, sender: str, file_id: int, index: int, sector_id: str) -> None:
+        self.protocol.file_confirm(sender, file_id, index, sector_id)
+
+    def _tx_file_prove(
+        self,
+        sender: str,
+        file_id: int,
+        index: int,
+        sector_id: str,
+        proof_time: Optional[float] = None,
+        proof_valid: bool = True,
+    ) -> None:
+        self.protocol.file_prove(
+            sender, file_id, index, sector_id, proof_time=proof_time, proof_valid=proof_valid
+        )
+
+    def _tx_sector_register(self, sender: str, capacity: int) -> str:
+        return self.protocol.sector_register(sender, capacity)
+
+    def _tx_sector_disable(self, sender: str, sector_id: str) -> None:
+        self.protocol.sector_disable(sender, sector_id)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _gas_cost(self, method: str) -> int:
+        try:
+            return self._gas_schedule.cost(method)
+        except KeyError:
+            return 0
+
+    def submit(self, sender: str, method: str, **payload: Any) -> Transaction:
+        """Convenience: build and queue a transaction on the host chain."""
+        transaction = Transaction(sender=sender, method=method, payload=payload)
+        self.chain.submit(transaction)
+        return transaction

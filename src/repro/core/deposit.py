@@ -1,0 +1,148 @@
+"""Deposit and compensation accounting -- the insurance scheme.
+
+Section IV-B: providers pledge a deposit proportional to sector capacity
+when registering; the deposit is locked until the sector safely quits
+(refund) or collapses (confiscation into the compensation pool).  When a
+file is lost, the owner is compensated at the file's declared value out of
+the pool.  :class:`InsuranceFund` wraps the ledger operations and keeps the
+aggregate statistics (deposit ratio, compensation coverage) the experiments
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.chain.ledger import InsufficientFundsError, Ledger
+
+__all__ = ["InsuranceFund", "CompensationShortfallError"]
+
+
+class CompensationShortfallError(Exception):
+    """Raised when the compensation pool cannot fully cover a lost file.
+
+    Theorem 4 shows that with the prescribed deposit ratio this happens with
+    probability at most ``c``; the simulation surfaces it loudly when it
+    does so experiments can count shortfalls.
+    """
+
+
+@dataclass
+class _DepositRecord:
+    owner: str
+    amount: int
+    active: bool = True
+
+
+class InsuranceFund:
+    """Deposit escrow plus the compensation pool.
+
+    The fund uses a dedicated pool account on the ledger
+    (:attr:`POOL_ADDRESS`) so compensation money is visibly separated from
+    the network's rent account.
+    """
+
+    POOL_ADDRESS = "@compensation-pool"
+
+    def __init__(self, ledger: Ledger) -> None:
+        self.ledger = ledger
+        self.ledger.ensure_account(self.POOL_ADDRESS)
+        self._deposits: Dict[str, _DepositRecord] = {}
+        self.total_pledged = 0
+        self.total_refunded = 0
+        self.total_confiscated = 0
+        self.total_compensated = 0
+        self.shortfall_events = 0
+
+    # ------------------------------------------------------------------
+    # Deposits
+    # ------------------------------------------------------------------
+    def pledge(self, sector_id: str, owner: str, amount: int) -> None:
+        """Lock ``amount`` of ``owner``'s tokens as the deposit of ``sector_id``."""
+        if sector_id in self._deposits and self._deposits[sector_id].active:
+            raise ValueError(f"sector {sector_id} already has an active deposit")
+        self.ledger.lock(owner, amount)
+        self._deposits[sector_id] = _DepositRecord(owner=owner, amount=amount)
+        self.total_pledged += amount
+
+    def refund(self, sector_id: str) -> int:
+        """Release the deposit of a sector that safely quit the network."""
+        record = self._active_record(sector_id)
+        self.ledger.release(record.owner, record.amount)
+        record.active = False
+        self.total_refunded += record.amount
+        return record.amount
+
+    def confiscate(self, sector_id: str) -> int:
+        """Seize the deposit of a corrupted sector into the compensation pool."""
+        record = self._active_record(sector_id)
+        self.ledger.confiscate(record.owner, record.amount, recipient=self.POOL_ADDRESS)
+        record.active = False
+        self.total_confiscated += record.amount
+        return record.amount
+
+    def deposit_of(self, sector_id: str) -> int:
+        """Active deposit amount pledged for ``sector_id`` (0 if none)."""
+        record = self._deposits.get(sector_id)
+        return record.amount if record and record.active else 0
+
+    def active_deposit_total(self) -> int:
+        """Sum of all currently locked deposits."""
+        return sum(r.amount for r in self._deposits.values() if r.active)
+
+    def _active_record(self, sector_id: str) -> _DepositRecord:
+        record = self._deposits.get(sector_id)
+        if record is None or not record.active:
+            raise KeyError(f"no active deposit for sector {sector_id}")
+        return record
+
+    # ------------------------------------------------------------------
+    # Compensation
+    # ------------------------------------------------------------------
+    @property
+    def pool_balance(self) -> int:
+        """Tokens currently available for compensation."""
+        return self.ledger.balance(self.POOL_ADDRESS)
+
+    def compensate(self, owner: str, amount: int) -> int:
+        """Pay ``amount`` to ``owner`` for a lost file.
+
+        Pays whatever the pool can cover; raises
+        :class:`CompensationShortfallError` afterwards if the pool fell
+        short, so callers both record the partial payment and observe the
+        failure.
+        """
+        if amount <= 0:
+            raise ValueError("compensation amount must be positive")
+        payable = min(amount, self.pool_balance)
+        if payable > 0:
+            self.ledger.transfer(self.POOL_ADDRESS, owner, payable)
+            self.total_compensated += payable
+        if payable < amount:
+            self.shortfall_events += 1
+            raise CompensationShortfallError(
+                f"pool covered {payable} of {amount} owed to {owner}"
+            )
+        return payable
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def deposit_ratio(self, max_total_value: int) -> float:
+        """Realised deposit ratio: active deposits / maximum storable value."""
+        if max_total_value <= 0:
+            return 0.0
+        return self.active_deposit_total() / max_total_value
+
+    def summary(self) -> Dict[str, int]:
+        """Aggregate statistics for experiment reports."""
+        return {
+            "total_pledged": self.total_pledged,
+            "total_refunded": self.total_refunded,
+            "total_confiscated": self.total_confiscated,
+            "total_compensated": self.total_compensated,
+            "pool_balance": self.pool_balance,
+            "active_deposits": self.active_deposit_total(),
+            "shortfall_events": self.shortfall_events,
+        }

@@ -1,0 +1,202 @@
+"""Dynamic Replication (DRep): the sector content model of Section III-D.
+
+DRep makes the content of a sector dynamic at low cost.  Instead of sealing
+a whole sector into one replica (Filecoin), each stored file is its own
+replica and the free space is kept filled with Capacity Replicas (CRs) so
+that the *unsealed* space of a sector is always smaller than one CR.  A CR
+that has been thrown away can be regenerated from zeros without a new
+SNARK, and a file replica that must move can be regenerated from the raw
+file by the destination provider.
+
+This module provides the on-chain *planning* view of a sector's contents
+(Figure 2's diagrams), with an explicit cost accounting of how many PoRep
+setups and SNARKs each operation requires.  The physical sealing lives in
+:mod:`repro.storage.provider`; tests check the two stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SlotKind", "ContentSlot", "DRepCostModel", "SectorContentPlan"]
+
+
+class SlotKind(str, Enum):
+    """What occupies a slice of sector space."""
+
+    FILE_REPLICA = "file_replica"
+    CAPACITY_REPLICA = "capacity_replica"
+    UNSEALED = "unsealed"
+
+
+@dataclass(frozen=True)
+class ContentSlot:
+    """One contiguous slice of a sector's content plan."""
+
+    kind: SlotKind
+    size: int
+    label: str
+
+
+@dataclass
+class DRepCostModel:
+    """Counts the expensive operations DRep performs.
+
+    ``porep_setups`` counts sealing passes (slow, sequential);
+    ``snark_proofs`` counts SNARK generations (the cost DRep avoids on CR
+    regeneration and replica movement); ``post_verifications`` counts cheap
+    WindowPoSt verifications.
+    """
+
+    porep_setups: int = 0
+    snark_proofs: int = 0
+    post_verifications: int = 0
+
+    def total_expensive_operations(self) -> int:
+        """Setups plus SNARKs -- what a naive whole-sector re-seal would pay."""
+        return self.porep_setups + self.snark_proofs
+
+
+class SectorContentPlan:
+    """Tracks what occupies a sector and maintains the DRep invariant.
+
+    Invariant: ``unsealed_space() < capacity_replica_size`` at all times
+    after :meth:`settle` (the sector holds as many CRs as fit in the space
+    not used by files).
+    """
+
+    def __init__(self, capacity: int, capacity_replica_size: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if capacity_replica_size <= 0:
+            raise ValueError("capacity_replica_size must be positive")
+        if capacity_replica_size > capacity:
+            raise ValueError("a capacity replica cannot exceed the sector capacity")
+        self.capacity = capacity
+        self.capacity_replica_size = capacity_replica_size
+        self._files: Dict[str, int] = {}
+        self._capacity_replica_count = 0
+        self.costs = DRepCostModel()
+        self._next_cr_label = 0
+        self._cr_labels: List[str] = []
+        self.settle(initial=True)
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+    def file_bytes(self) -> int:
+        """Bytes used by file replicas."""
+        return sum(self._files.values())
+
+    def capacity_replica_bytes(self) -> int:
+        """Bytes covered by Capacity Replicas."""
+        return self._capacity_replica_count * self.capacity_replica_size
+
+    def unsealed_space(self) -> int:
+        """Bytes covered by neither file replicas nor CRs."""
+        return self.capacity - self.file_bytes() - self.capacity_replica_bytes()
+
+    def free_for_files(self) -> int:
+        """Space available to new file replicas (CRs are evictable)."""
+        return self.capacity - self.file_bytes()
+
+    @property
+    def capacity_replica_count(self) -> int:
+        """Number of CRs currently planned."""
+        return self._capacity_replica_count
+
+    def files(self) -> Dict[str, int]:
+        """Mapping of file label to replica size."""
+        return dict(self._files)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_file(self, label: str, size: int, sealed_elsewhere: bool = False) -> None:
+        """Add a file replica of ``size`` bytes.
+
+        ``sealed_elsewhere`` marks replicas transferred from another sector
+        during a refresh: they do not need a new SNARK, only (at worst) a
+        re-seal from raw data if the predecessor never handed them over.
+        """
+        if size <= 0:
+            raise ValueError("file size must be positive")
+        if label in self._files:
+            raise ValueError(f"file {label!r} already stored in this sector")
+        if size > self.free_for_files():
+            raise ValueError(
+                f"file {label!r} of {size} bytes does not fit: "
+                f"{self.free_for_files()} bytes free"
+            )
+        # Evict CRs to make room; evicted CRs cost nothing now and only a
+        # setup (no SNARK) if they ever need to come back.
+        while self.unsealed_space() < size and self._capacity_replica_count > 0:
+            self._capacity_replica_count -= 1
+            self._cr_labels.pop()
+        self._files[label] = size
+        self.costs.porep_setups += 1
+        if not sealed_elsewhere:
+            self.costs.snark_proofs += 1
+        self.settle()
+
+    def remove_file(self, label: str) -> int:
+        """Remove a file replica (discard or swap-out); returns its size."""
+        size = self._files.pop(label)
+        self.settle()
+        return size
+
+    def settle(self, initial: bool = False) -> int:
+        """Regenerate CRs until the unsealed space is below one CR.
+
+        Returns the number of CRs generated.  Regeneration costs a PoRep
+        setup but no SNARK (Section III-D).
+        """
+        created = 0
+        while self.unsealed_space() >= self.capacity_replica_size:
+            self._capacity_replica_count += 1
+            label = f"CR{self._next_cr_label}"
+            self._next_cr_label += 1
+            self._cr_labels.append(label)
+            self.costs.porep_setups += 1
+            if initial:
+                # Initial CRs are proven once when the sector registers.
+                self.costs.snark_proofs += 1
+            created += 1
+        return created
+
+    # ------------------------------------------------------------------
+    # Introspection (Figure 2 style layouts)
+    # ------------------------------------------------------------------
+    def layout(self) -> List[ContentSlot]:
+        """Current content layout: files first, then CRs, then unsealed space."""
+        slots = [
+            ContentSlot(kind=SlotKind.FILE_REPLICA, size=size, label=label)
+            for label, size in sorted(self._files.items())
+        ]
+        slots.extend(
+            ContentSlot(
+                kind=SlotKind.CAPACITY_REPLICA,
+                size=self.capacity_replica_size,
+                label=label,
+            )
+            for label in self._cr_labels
+        )
+        unsealed = self.unsealed_space()
+        if unsealed > 0:
+            slots.append(ContentSlot(kind=SlotKind.UNSEALED, size=unsealed, label="unsealed"))
+        return slots
+
+    def invariant_holds(self) -> bool:
+        """DRep invariant: unsealed space is strictly below one CR size."""
+        return self.unsealed_space() < self.capacity_replica_size
+
+    def naive_reseal_cost(self) -> int:
+        """Expensive operations a whole-sector re-seal approach would need.
+
+        Used by the DRep ablation benchmark: one setup plus one SNARK per
+        content change.
+        """
+        changes = self.costs.porep_setups  # every change resealed the sector
+        return 2 * changes

@@ -1,0 +1,218 @@
+"""Capacity-weighted random sector selection.
+
+``RandomSector()`` (Table I) samples a sector with probability proportional
+to its capacity.  The sector set is dynamic -- sectors register, disable
+and are removed -- so the sampler must support weighted sampling *and*
+weight updates efficiently.  We use a Fenwick (binary indexed) tree over
+sector weights, giving O(log n) insertion, removal, re-weighting and
+sampling; this is also the data structure that makes the Table III
+experiments (hundreds of millions of placements) feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, List, Optional, TypeVar
+
+from repro.crypto.prng import DeterministicPRNG
+
+__all__ = ["WeightedSampler", "CapacitySelector"]
+
+K = TypeVar("K", bound=Hashable)
+
+
+class WeightedSampler(Generic[K]):
+    """Dynamic weighted sampling over hashable keys via a Fenwick tree.
+
+    Weights are non-negative integers (capacities in bytes).  Removed slots
+    are recycled so long-running simulations with heavy churn do not grow
+    unboundedly.
+    """
+
+    def __init__(self) -> None:
+        self._tree: List[int] = [0]  # 1-indexed Fenwick tree
+        self._weights: List[int] = []  # per-slot weight
+        self._keys: List[Optional[K]] = []  # slot -> key
+        self._slots: Dict[K, int] = {}  # key -> slot
+        self._free_slots: List[int] = []
+        self._total: int = 0
+
+    # ------------------------------------------------------------------
+    # Fenwick internals
+    # ------------------------------------------------------------------
+    def _update(self, slot: int, delta: int) -> None:
+        index = slot + 1
+        while index < len(self._tree):
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def _prefix_sum(self, slot: int) -> int:
+        index = slot + 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+    def _find_slot(self, target: int) -> int:
+        """Find the smallest slot whose prefix sum exceeds ``target``."""
+        index = 0
+        bit = 1
+        while bit * 2 < len(self._tree):
+            bit *= 2
+        remaining = target
+        while bit > 0:
+            nxt = index + bit
+            if nxt < len(self._tree) and self._tree[nxt] <= remaining:
+                index = nxt
+                remaining -= self._tree[nxt]
+            bit //= 2
+        return index  # 0-based slot
+
+    def _grow(self) -> int:
+        slot = len(self._weights)
+        self._weights.append(0)
+        self._keys.append(None)
+        self._tree.append(0)
+        # Rebuild the new tree node from its children (standard Fenwick grow).
+        index = slot + 1
+        low = index - (index & (-index)) + 1
+        self._tree[index] = sum(self._weights[low - 1 : index])
+        return slot
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def add(self, key: K, weight: int) -> None:
+        """Insert ``key`` with ``weight`` (must not already be present)."""
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        if key in self._slots:
+            raise KeyError(f"key {key!r} already present")
+        slot = self._free_slots.pop() if self._free_slots else self._grow()
+        self._slots[key] = slot
+        self._keys[slot] = key
+        delta = weight - self._weights[slot]
+        self._weights[slot] = weight
+        self._total += delta
+        self._update(slot, delta)
+
+    def remove(self, key: K) -> None:
+        """Remove ``key`` from the sampler."""
+        slot = self._slots.pop(key)
+        delta = -self._weights[slot]
+        self._weights[slot] = 0
+        self._keys[slot] = None
+        self._total += delta
+        self._update(slot, delta)
+        self._free_slots.append(slot)
+
+    def update_weight(self, key: K, weight: int) -> None:
+        """Change the weight of an existing key."""
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        slot = self._slots[key]
+        delta = weight - self._weights[slot]
+        if delta == 0:
+            return
+        self._weights[slot] = weight
+        self._total += delta
+        self._update(slot, delta)
+
+    def weight(self, key: K) -> int:
+        """Current weight of ``key`` (0 if absent)."""
+        slot = self._slots.get(key)
+        return self._weights[slot] if slot is not None else 0
+
+    def contains(self, key: K) -> bool:
+        """True if ``key`` is present."""
+        return key in self._slots
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of all weights."""
+        return self._total
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def keys(self) -> List[K]:
+        """All keys currently present."""
+        return list(self._slots)
+
+    def sample(self, prng: DeterministicPRNG) -> K:
+        """Sample a key with probability proportional to its weight."""
+        if self._total <= 0:
+            raise ValueError("cannot sample from an empty or zero-weight sampler")
+        target = prng.randint(0, self._total - 1)
+        slot = self._find_slot(target)
+        key = self._keys[slot]
+        if key is None:  # pragma: no cover - defensive, should be unreachable
+            raise RuntimeError("sampled an empty slot; Fenwick tree is inconsistent")
+        return key
+
+
+class CapacitySelector:
+    """``RandomSector()`` with collision handling.
+
+    Samples sectors proportionally to *capacity* (not free space, matching
+    the paper), and resamples when the chosen sector lacks free space for
+    the replica -- the "collision" event whose frequency Theorem 2 and the
+    Table III experiments bound.  Collisions are counted so experiments can
+    report them.
+    """
+
+    def __init__(self, prng: DeterministicPRNG, max_attempts: int = 1000) -> None:
+        self.prng = prng
+        self.max_attempts = max_attempts
+        self._sampler: WeightedSampler[str] = WeightedSampler()
+        self.collisions = 0
+        self.samples = 0
+
+    # ------------------------------------------------------------------
+    # Membership management (driven by the protocol)
+    # ------------------------------------------------------------------
+    def add_sector(self, sector_id: str, capacity: int) -> None:
+        """Make a sector eligible for selection."""
+        self._sampler.add(sector_id, capacity)
+
+    def remove_sector(self, sector_id: str) -> None:
+        """Remove a sector (disabled, corrupted or deregistered)."""
+        if self._sampler.contains(sector_id):
+            self._sampler.remove(sector_id)
+
+    def contains(self, sector_id: str) -> bool:
+        """True if the sector is currently selectable."""
+        return self._sampler.contains(sector_id)
+
+    @property
+    def total_capacity(self) -> int:
+        """Total capacity of selectable sectors."""
+        return self._sampler.total_weight
+
+    def __len__(self) -> int:
+        return len(self._sampler)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def random_sector(self) -> str:
+        """One capacity-proportional draw (no free-space check)."""
+        self.samples += 1
+        return self._sampler.sample(self.prng)
+
+    def select_with_space(self, required_space: int, free_space_of) -> Optional[str]:
+        """Sample until a sector with ``required_space`` free is found.
+
+        ``free_space_of`` maps a sector id to its current free capacity.
+        Returns ``None`` if ``max_attempts`` draws all collide, which the
+        paper notes "almost never happens" under the redundant-capacity
+        assumption.
+        """
+        if len(self._sampler) == 0:
+            return None
+        for _ in range(self.max_attempts):
+            sector_id = self.random_sector()
+            if free_space_of(sector_id) >= required_space:
+                return sector_id
+            self.collisions += 1
+        return None

@@ -1,0 +1,147 @@
+"""Value-level subnetworks (Section VI-D).
+
+Because a file's replica count is linear in its value, a very valuable file
+would need a huge number of replicas.  The paper's compromise: pre-divide
+files into value levels and run one storage subnetwork per level, each with
+its own ``minValue``; clients pick the subnetwork matching their file's
+value, so replica counts stay at ``k`` to a small multiple of ``k``.
+
+:class:`SubnetworkRouter` owns one :class:`FileInsurerProtocol` per value
+level and routes File requests to the right one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.ledger import Ledger
+from repro.core.params import ProtocolParams
+from repro.core.protocol import FileInsurerProtocol
+from repro.crypto.prng import DeterministicPRNG
+
+__all__ = ["ValueLevel", "SubnetworkRouter"]
+
+
+@dataclass(frozen=True)
+class ValueLevel:
+    """One value band served by a dedicated subnetwork."""
+
+    name: str
+    min_value: int
+    max_value: int
+
+    def __post_init__(self) -> None:
+        if self.min_value <= 0 or self.max_value < self.min_value:
+            raise ValueError("value levels need 0 < min_value <= max_value")
+
+    def contains(self, value: int) -> bool:
+        """True if ``value`` belongs in this band."""
+        return self.min_value <= value <= self.max_value
+
+
+@dataclass(frozen=True)
+class RoutedFile:
+    """Record of where a file went: which level and the file id within it."""
+
+    level: str
+    file_id: int
+
+
+class SubnetworkRouter:
+    """Routes files to per-value-level FileInsurer subnetworks."""
+
+    def __init__(
+        self,
+        levels: Sequence[ValueLevel],
+        base_params: Optional[ProtocolParams] = None,
+        ledger: Optional[Ledger] = None,
+        seed: int = 7,
+        **protocol_kwargs,
+    ) -> None:
+        if not levels:
+            raise ValueError("at least one value level is required")
+        self._check_disjoint(levels)
+        self.levels = tuple(sorted(levels, key=lambda level: level.min_value))
+        self.ledger = ledger or Ledger()
+        params = base_params or ProtocolParams.small_test()
+        self.subnetworks: Dict[str, FileInsurerProtocol] = {}
+        for index, level in enumerate(self.levels):
+            level_params = params.scaled(min_value=level.min_value)
+            self.subnetworks[level.name] = FileInsurerProtocol(
+                params=level_params,
+                ledger=self.ledger,
+                prng=DeterministicPRNG.from_int(seed + index, domain=f"subnet-{level.name}"),
+                **protocol_kwargs,
+            )
+        self._routes: Dict[Tuple[str, int], RoutedFile] = {}
+
+    @staticmethod
+    def _check_disjoint(levels: Sequence[ValueLevel]) -> None:
+        ordered = sorted(levels, key=lambda level: level.min_value)
+        for lower, upper in zip(ordered, ordered[1:]):
+            if lower.max_value >= upper.min_value:
+                raise ValueError(
+                    f"value levels {lower.name!r} and {upper.name!r} overlap"
+                )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def level_for_value(self, value: int) -> ValueLevel:
+        """The value level a file of ``value`` belongs to."""
+        for level in self.levels:
+            if level.contains(value):
+                return level
+        raise ValueError(f"no value level covers value {value}")
+
+    def subnetwork(self, name: str) -> FileInsurerProtocol:
+        """The protocol instance of a named level."""
+        return self.subnetworks[name]
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+    def sector_register(self, level_name: str, owner: str, capacity: int) -> str:
+        """Register a sector in a specific subnetwork."""
+        return self.subnetworks[level_name].sector_register(owner, capacity)
+
+    def file_add(self, owner: str, size: int, value: int, merkle_root: bytes) -> RoutedFile:
+        """Add a file to the subnetwork matching its value.
+
+        Within a level the value is rounded up to a multiple of the level's
+        ``minValue`` so the replica-count rule of the protocol applies
+        unchanged.
+        """
+        level = self.level_for_value(value)
+        protocol = self.subnetworks[level.name]
+        step = protocol.params.min_value
+        declared = ((value + step - 1) // step) * step
+        file_id = protocol.file_add(owner, size, declared, merkle_root)
+        routed = RoutedFile(level=level.name, file_id=file_id)
+        self._routes[(level.name, file_id)] = routed
+        return routed
+
+    def file_locations(self, routed: RoutedFile) -> List[Optional[str]]:
+        """Replica locations of a routed file."""
+        return self.subnetworks[routed.level].file_locations(routed.file_id)
+
+    def advance_time(self, until: float) -> None:
+        """Advance every subnetwork's clock to ``until``."""
+        for protocol in self.subnetworks.values():
+            protocol.advance_time(until)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def replica_count_for_value(self, value: int) -> int:
+        """Replicas a file of ``value`` gets after routing (vs. single network)."""
+        level = self.level_for_value(value)
+        protocol = self.subnetworks[level.name]
+        step = protocol.params.min_value
+        declared = ((value + step - 1) // step) * step
+        return protocol.params.replica_count(declared)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot of every subnetwork."""
+        return {name: protocol.snapshot() for name, protocol in self.subnetworks.items()}

@@ -1,0 +1,73 @@
+"""Simulated unbiased public random beacon.
+
+The paper (Section III-F) assumes an unbiased, unpredictable public random
+beacon is available on-chain -- a well-studied primitive (RandPiper, SPURT,
+Cachin et al.) whose construction is explicitly out of scope.  We therefore
+model the beacon as a verifiable hash chain: each round's output is the hash
+of the previous output together with the round number.  This gives every
+participant of the simulation the same unpredictable-looking-but-
+deterministic value per round, which is exactly what the protocol consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.crypto.hashing import hash_concat
+from repro.crypto.prng import DeterministicPRNG
+
+__all__ = ["BeaconOutput", "RandomBeacon"]
+
+
+@dataclass(frozen=True)
+class BeaconOutput:
+    """One round of beacon output."""
+
+    round: int
+    value: bytes
+
+    def prng(self, domain: str) -> DeterministicPRNG:
+        """Expand this beacon output into a pseudorandom stream for ``domain``."""
+        return DeterministicPRNG(self.value, domain=domain)
+
+
+class RandomBeacon:
+    """A deterministic hash-chain beacon.
+
+    ``output(r)`` is defined for every non-negative round ``r``; rounds are
+    computed lazily and cached.  The chain construction means an output
+    cannot be predicted without evaluating every preceding hash, modelling
+    the unpredictability property of a real distributed beacon.
+    """
+
+    def __init__(self, genesis_seed: bytes = b"fileinsurer-beacon-genesis") -> None:
+        self._genesis = bytes(genesis_seed)
+        self._cache: Dict[int, bytes] = {}
+
+    def output(self, round: int) -> BeaconOutput:
+        """Return the beacon output for ``round`` (>= 0)."""
+        if round < 0:
+            raise ValueError("beacon rounds are non-negative")
+        value = self._value_for(round)
+        return BeaconOutput(round=round, value=value)
+
+    def _value_for(self, round: int) -> bytes:
+        if round in self._cache:
+            return self._cache[round]
+        # Compute iteratively from the highest cached round to avoid deep
+        # recursion when the simulation jumps far ahead in time.
+        start = max((r for r in self._cache if r < round), default=-1)
+        value = self._cache.get(start, self._genesis)
+        for r in range(start + 1, round + 1):
+            value = hash_concat(value, r.to_bytes(8, "big"))
+            self._cache[r] = value
+        return value
+
+    def verify(self, output: BeaconOutput) -> bool:
+        """Check that ``output`` is a genuine output of this beacon."""
+        return self._value_for(output.round) == output.value
+
+    def prng_for_round(self, round: int, domain: str) -> DeterministicPRNG:
+        """Convenience: expand round ``round`` into a PRNG for ``domain``."""
+        return self.output(round).prng(domain)

@@ -1,0 +1,24 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Every table / figure / concrete example of the paper's evaluation has a
+driver module here (see the experiment index in DESIGN.md):
+
+* :mod:`repro.experiments.table3` -- Table III capacity-usage experiments
+  (both the reallocate and refresh settings, all five distributions).
+* :mod:`repro.experiments.table4` -- Table IV protocol comparison.
+* :mod:`repro.experiments.collision` -- Theorem 2 collision-probability
+  bound versus simulation.
+* :mod:`repro.experiments.robustness` -- Theorem 3 loss-ratio bound versus
+  Monte-Carlo adversarial corruption (the "0.1% at lambda=0.5" example).
+* :mod:`repro.experiments.deposit` -- Theorem 4 deposit-ratio bound and the
+  end-to-end compensation check (the "0.0046" example).
+* :mod:`repro.experiments.scalability` -- Theorem 1 storable-size bound.
+
+Each module exposes ``run_*`` functions returning plain row dictionaries
+and a ``main()`` that prints a paper-style table; ``python -m
+repro.experiments.<name>`` runs it from the command line.
+"""
+
+from repro.experiments import collision, deposit, robustness, scalability, table3, table4
+
+__all__ = ["collision", "deposit", "robustness", "scalability", "table3", "table4"]

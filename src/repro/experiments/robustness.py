@@ -1,0 +1,187 @@
+"""Theorem 3: value lost when an adversary corrupts a fraction of capacity.
+
+Section V-B3's concrete example: with ``k = 20``, ``Ns = 1e6``,
+``capPara = 1e3`` and ``gamma_m_v >= 0.005``, even when half of the
+network's capacity collapses (``lambda = 0.5``) the lost value is at most
+0.1% of the stored value.  This driver:
+
+1. evaluates the analytic bound at the paper's exact parameters across a
+   sweep of ``lambda``;
+2. Monte-Carlo-simulates random i.i.d. replica placement at a scaled-down
+   ``Ns`` and measures the realised loss ratio under both a random and a
+   greedy (targeted) adversary, confirming the simulated loss sits far
+   below the bound;
+3. contrasts FileInsurer's randomised placement against a clustered
+   (Filecoin-deal-style) placement to show why storage randomness is the
+   load-bearing property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.analysis import expected_lost_value_fraction, theorem3_loss_ratio_bound
+from repro.sim.adversary import GreedyCapacityAdversary, RandomCapacityAdversary, evaluate_loss
+from repro.sim.metrics import format_table
+
+__all__ = [
+    "run_bound_sweep",
+    "simulate_loss",
+    "run_monte_carlo",
+    "run_placement_contrast",
+    "main",
+]
+
+PAPER_PARAMS = {"k": 20, "ns": 10**6, "cap_para": 10**3, "gamma_m_v": 0.005}
+
+
+def run_bound_sweep(
+    lambdas: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7),
+    k: int = 20,
+    ns: float = 10**6,
+    cap_para: float = 10**3,
+    gamma_m_v: float = 0.005,
+    security_c: float = 1e-18,
+) -> List[Dict[str, object]]:
+    """Theorem 3 bound across corruption fractions at the paper's parameters."""
+    rows: List[Dict[str, object]] = []
+    for lam in lambdas:
+        bound = theorem3_loss_ratio_bound(
+            lam=lam, k=k, ns=ns, cap_para=cap_para, gamma_m_v=gamma_m_v, security_c=security_c
+        )
+        rows.append(
+            {
+                "lambda": lam,
+                "gamma_lost_bound": f"{bound:.3e}",
+                "expected_loss (lambda^k)": f"{expected_lost_value_fraction(lam, k):.3e}",
+            }
+        )
+    return rows
+
+
+def simulate_loss(
+    n_sectors: int,
+    n_files: int,
+    k: int,
+    lam: float,
+    seed: int = 0,
+    targeted: bool = False,
+) -> float:
+    """One Monte-Carlo trial: place files i.i.d., corrupt, return loss ratio."""
+    rng = np.random.default_rng(seed)
+    placements = [list(rng.integers(0, n_sectors, k)) for _ in range(n_files)]
+    values = [1.0] * n_files
+    capacities = [1.0] * n_sectors
+    adversary = GreedyCapacityAdversary(seed=seed) if targeted else RandomCapacityAdversary(seed=seed)
+    outcome = adversary.attack(capacities, placements, values, lam)
+    return outcome.value_loss_ratio
+
+
+def run_monte_carlo(
+    lambdas: Sequence[float] = (0.3, 0.5, 0.7),
+    n_sectors: int = 2000,
+    n_files: int = 2000,
+    k: int = 10,
+    trials: int = 5,
+    seed: int = 0,
+    cap_para: float = 10.0,
+) -> List[Dict[str, object]]:
+    """Simulated loss ratios (random and targeted adversaries) vs the bound.
+
+    The simulation uses a scaled ``Ns`` and a smaller ``k`` so the targeted
+    adversary remains affordable; the bound is evaluated at the *same*
+    scaled parameters so the comparison is apples-to-apples.
+    """
+    gamma_m_v = n_files / (cap_para * n_sectors)
+    rows: List[Dict[str, object]] = []
+    for lam in lambdas:
+        random_losses = [
+            simulate_loss(n_sectors, n_files, k, lam, seed=seed + t, targeted=False)
+            for t in range(trials)
+        ]
+        targeted_losses = [
+            simulate_loss(n_sectors, n_files, k, lam, seed=seed + t, targeted=True)
+            for t in range(trials)
+        ]
+        bound = theorem3_loss_ratio_bound(
+            lam=lam,
+            k=k,
+            ns=n_sectors,
+            cap_para=cap_para,
+            gamma_m_v=max(gamma_m_v, 1e-9),
+            security_c=1e-9,
+        )
+        rows.append(
+            {
+                "lambda": lam,
+                "k": k,
+                "Ns": n_sectors,
+                "sim_loss_random(max)": f"{max(random_losses):.4f}",
+                "sim_loss_targeted(max)": f"{max(targeted_losses):.4f}",
+                "expected (lambda^k)": f"{expected_lost_value_fraction(lam, k):.2e}",
+                "theorem3_bound": f"{min(bound, 1.0):.4f}",
+            }
+        )
+    return rows
+
+
+def run_placement_contrast(
+    lam: float = 0.5,
+    n_sectors: int = 1000,
+    n_files: int = 1000,
+    k: int = 5,
+    pool_fraction: float = 0.2,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Random i.i.d. placement vs clustered placement under a targeted attack.
+
+    Shows why storage randomness matters: the clustered placement (files
+    concentrated on a preferred pool of sectors, as in deal-based markets)
+    loses far more value at the same corruption budget.
+    """
+    rng = np.random.default_rng(seed)
+    capacities = [1.0] * n_sectors
+    values = [1.0] * n_files
+    adversary = GreedyCapacityAdversary(seed=seed)
+
+    random_placements = [list(rng.integers(0, n_sectors, k)) for _ in range(n_files)]
+    random_outcome = adversary.attack(capacities, random_placements, values, lam)
+
+    pool = rng.permutation(n_sectors)[: max(k, int(pool_fraction * n_sectors))]
+    clustered_placements = [
+        [int(s) for s in rng.choice(pool, size=k, replace=False)] for _ in range(n_files)
+    ]
+    clustered_outcome = adversary.attack(capacities, clustered_placements, values, lam)
+
+    return {
+        "lambda": lam,
+        "loss_random_placement": random_outcome.value_loss_ratio,
+        "loss_clustered_placement": clustered_outcome.value_loss_ratio,
+    }
+
+
+def main() -> Dict[str, object]:
+    """Print the bound sweep, the Monte-Carlo check and the placement contrast."""
+    bound_rows = run_bound_sweep(**PAPER_PARAMS)  # type: ignore[arg-type]
+    print("\nTheorem 3 bound at the paper's parameters (k=20, Ns=1e6, capPara=1e3)")
+    print(format_table(bound_rows))
+    paper_point = theorem3_loss_ratio_bound(lam=0.5, **PAPER_PARAMS)  # type: ignore[arg-type]
+    print(
+        f"paper's example: lambda=0.5 -> gamma_lost <= {paper_point:.2e} "
+        "(paper: no more than 0.1% of stored value)"
+    )
+
+    mc_rows = run_monte_carlo()
+    print("\nMonte-Carlo loss ratios at scaled parameters")
+    print(format_table(mc_rows))
+
+    contrast = run_placement_contrast()
+    print("\nStorage randomness ablation (targeted adversary, lambda=0.5)")
+    print(format_table([contrast]))
+    return {"bound": bound_rows, "monte_carlo": mc_rows, "contrast": contrast}
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    main()

@@ -1,0 +1,125 @@
+"""Table III: maximum capacity usage of sectors under storage randomness.
+
+The paper places ``Ncp`` file backups into ``Ns`` equal-capacity sectors
+whose total capacity is twice the total backup size and reports, for five
+backup-size distributions, the maximum per-sector capacity usage under two
+settings:
+
+* reallocate all backups from scratch 100 times;
+* place once, then refresh a random backup ``100 * Ncp`` times.
+
+The paper's grid runs ``Ncp`` from 1e5 to 1e8 with ``Ncp/Ns`` ratios of
+5000 and 1000.  A pure-Python/numpy reproduction cannot afford 1e8 x 100
+placements, so :func:`default_grid` keeps the two ratios and the smaller
+``Ncp`` rows; the paper's qualitative findings -- usage never exceeds
+~0.64, grows slowly with Ns at a fixed ratio, and is slightly higher in the
+refresh setting -- are reproduced at this scale.  Pass ``scale="paper"``
+for the full grid if you have the time budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.metrics import format_table
+from repro.sim.placement import PlacementExperiment, PlacementResult
+from repro.sim.workload import FileSizeDistribution
+
+__all__ = ["default_grid", "paper_grid", "run_table3", "rows_to_table", "main"]
+
+#: Paper value: the claimed maximum usage across all rows is below this.
+PAPER_MAX_USAGE = 0.64
+
+
+def paper_grid() -> List[Tuple[int, int]]:
+    """The full (Ncp, Ns) grid of Table III."""
+    return [
+        (10**5, 20),
+        (10**5, 100),
+        (10**6, 200),
+        (10**6, 1000),
+        (10**7, 2000),
+        (10**7, 10_000),
+        (10**8, 20_000),
+        (10**8, 10**5),
+    ]
+
+
+def default_grid() -> List[Tuple[int, int]]:
+    """A scaled grid keeping the paper's Ncp/Ns ratios (5000 and 1000)."""
+    return [
+        (10**5, 20),
+        (10**5, 100),
+        (10**6, 200),
+        (10**6, 1000),
+    ]
+
+
+def run_table3(
+    mode: str = "reallocate",
+    grid: Optional[Sequence[Tuple[int, int]]] = None,
+    distributions: Optional[Sequence[FileSizeDistribution]] = None,
+    rounds: int = 100,
+    refresh_multiplier: int = 100,
+    seed: int = 0,
+) -> List[PlacementResult]:
+    """Run one setting of Table III and return the per-cell results."""
+    experiment = PlacementExperiment(seed=seed)
+    return experiment.sweep(
+        grid=list(grid or default_grid()),
+        distributions=distributions,
+        mode=mode,
+        rounds=rounds,
+        refresh_multiplier=refresh_multiplier,
+    )
+
+
+def rows_to_table(results: Sequence[PlacementResult]) -> List[Dict[str, object]]:
+    """Pivot per-cell results into paper-shaped rows (one row per Ncp, Ns)."""
+    table: Dict[Tuple[int, int], Dict[str, object]] = {}
+    for result in results:
+        key = (result.n_backups, result.n_sectors)
+        row = table.setdefault(key, {"Ncp": result.n_backups, "Ns": result.n_sectors})
+        row[result.distribution.paper_label] = round(result.max_usage, 3)
+    return [table[key] for key in sorted(table)]
+
+
+def main(
+    scale: str = "default",
+    rounds: int = 100,
+    refresh_multiplier: int = 100,
+    seed: int = 0,
+) -> Dict[str, List[Dict[str, object]]]:
+    """Run both settings, print paper-style tables and return the rows."""
+    grid = paper_grid() if scale == "paper" else default_grid()
+    output: Dict[str, List[Dict[str, object]]] = {}
+    for mode, header in (
+        ("reallocate", f"reallocate all file backups {rounds} times"),
+        ("refresh", f"refresh the location of a file backup {refresh_multiplier}*Ncp times"),
+    ):
+        results = run_table3(
+            mode=mode,
+            grid=grid,
+            rounds=rounds,
+            refresh_multiplier=refresh_multiplier,
+            seed=seed,
+        )
+        rows = rows_to_table(results)
+        output[mode] = rows
+        print(f"\nTable III ({header}) -- maximum capacity usage of sectors")
+        print(format_table(rows))
+        observed_max = max(
+            float(row[label])
+            for row in rows
+            for label in ("[1]", "[2]", "[3]", "[4]", "[5]")
+            if label in row
+        )
+        print(
+            f"observed maximum usage = {observed_max:.3f} "
+            f"(paper reports all values < {PAPER_MAX_USAGE})"
+        )
+    return output
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    main()

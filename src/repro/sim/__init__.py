@@ -1,0 +1,45 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation is simulation-based (Table III numerical experiments
+plus the concrete robustness/deposit examples).  This package provides:
+
+* :mod:`repro.sim.engine` -- a deterministic discrete-event engine.
+* :mod:`repro.sim.network` -- a latency/bandwidth message-passing model.
+* :mod:`repro.sim.workload` -- file size/value generators for the five
+  distributions of Table III and general DSN workloads.
+* :mod:`repro.sim.placement` -- the vectorised replica-placement engine
+  behind the Table III capacity-usage experiments.
+* :mod:`repro.sim.adversary` -- adversary models corrupting a fraction of
+  capacity (targeted and random).
+* :mod:`repro.sim.metrics` -- metric collection helpers.
+* :mod:`repro.sim.scenario` -- an end-to-end harness wiring the chain, the
+  protocol, physical providers and clients together.
+"""
+
+from repro.sim.adversary import AdversaryModel, CorruptionOutcome, GreedyCapacityAdversary, RandomCapacityAdversary
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.metrics import MetricSeries, MetricsCollector
+from repro.sim.network import LatencyModel, NetworkMessage, SimulatedNetwork
+from repro.sim.placement import PlacementExperiment, PlacementResult
+from repro.sim.scenario import DSNScenario, ScenarioConfig
+from repro.sim.workload import FileSizeDistribution, WorkloadGenerator
+
+__all__ = [
+    "AdversaryModel",
+    "CorruptionOutcome",
+    "DSNScenario",
+    "Event",
+    "FileSizeDistribution",
+    "GreedyCapacityAdversary",
+    "LatencyModel",
+    "MetricSeries",
+    "MetricsCollector",
+    "NetworkMessage",
+    "PlacementExperiment",
+    "PlacementResult",
+    "RandomCapacityAdversary",
+    "ScenarioConfig",
+    "SimulatedNetwork",
+    "SimulationEngine",
+    "WorkloadGenerator",
+]

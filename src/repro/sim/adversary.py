@@ -1,0 +1,218 @@
+"""Adversary models: corrupt a fraction of the network's capacity.
+
+Theorems 3 and 4 assume an adversary able to instantaneously corrupt a
+``lambda`` fraction of total capacity, choosing *which* sectors to corrupt
+arbitrarily.  Two strategies are provided:
+
+* :class:`RandomCapacityAdversary` -- corrupts uniformly random sectors
+  until the budget is spent (models correlated hardware failure);
+* :class:`GreedyCapacityAdversary` -- targets the sectors hosting the most
+  replicas of the fewest-replicated files first, a strong heuristic for
+  maximising destroyed value under a capacity budget.
+
+Both operate either on a :class:`FileInsurerProtocol` instance (corrupting
+its sectors) or on a plain placement map, which is what the Monte-Carlo
+robustness experiments use for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.crypto.prng import DeterministicPRNG
+
+__all__ = [
+    "CorruptionOutcome",
+    "AdversaryModel",
+    "RandomCapacityAdversary",
+    "GreedyCapacityAdversary",
+    "evaluate_loss",
+]
+
+
+@dataclass(frozen=True)
+class CorruptionOutcome:
+    """Result of an attack on a replica placement."""
+
+    corrupted_sectors: Tuple[int, ...]
+    corrupted_capacity: float
+    total_capacity: float
+    lost_files: Tuple[int, ...]
+    lost_value: float
+    total_value: float
+
+    @property
+    def capacity_fraction(self) -> float:
+        """Fraction of capacity corrupted (the realised lambda)."""
+        if self.total_capacity <= 0:
+            return 0.0
+        return self.corrupted_capacity / self.total_capacity
+
+    @property
+    def value_loss_ratio(self) -> float:
+        """``gamma_lost``: lost value over total value."""
+        if self.total_value <= 0:
+            return 0.0
+        return self.lost_value / self.total_value
+
+
+def evaluate_loss(
+    placements: Sequence[Sequence[int]],
+    values: Sequence[float],
+    corrupted: Set[int],
+    capacities: Sequence[float],
+) -> CorruptionOutcome:
+    """Compute which files are lost given a set of corrupted sectors.
+
+    ``placements[i]`` lists the sector indices hosting the replicas of file
+    ``i``; the file is lost iff every one of them is corrupted.
+    """
+    lost_files: List[int] = []
+    lost_value = 0.0
+    for file_index, sectors in enumerate(placements):
+        if sectors and all(sector in corrupted for sector in sectors):
+            lost_files.append(file_index)
+            lost_value += values[file_index]
+    corrupted_capacity = float(sum(capacities[s] for s in corrupted))
+    return CorruptionOutcome(
+        corrupted_sectors=tuple(sorted(corrupted)),
+        corrupted_capacity=corrupted_capacity,
+        total_capacity=float(sum(capacities)),
+        lost_files=tuple(lost_files),
+        lost_value=lost_value,
+        total_value=float(sum(values)),
+    )
+
+
+class AdversaryModel(Protocol):
+    """Interface of a capacity-budgeted adversary."""
+
+    def choose_sectors(
+        self,
+        capacities: Sequence[float],
+        placements: Sequence[Sequence[int]],
+        values: Sequence[float],
+        budget_fraction: float,
+    ) -> Set[int]:
+        """Select sector indices to corrupt within the capacity budget."""
+
+
+class RandomCapacityAdversary:
+    """Corrupts uniformly random sectors up to the capacity budget."""
+
+    def __init__(self, seed: int = 13) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def choose_sectors(
+        self,
+        capacities: Sequence[float],
+        placements: Sequence[Sequence[int]],
+        values: Sequence[float],
+        budget_fraction: float,
+    ) -> Set[int]:
+        """Pick random sectors until the corrupted capacity reaches the budget."""
+        if not 0 <= budget_fraction <= 1:
+            raise ValueError("budget_fraction must lie in [0, 1]")
+        caps = np.asarray(capacities, dtype=float)
+        budget = budget_fraction * float(caps.sum())
+        order = self._rng.permutation(len(caps))
+        chosen: Set[int] = set()
+        spent = 0.0
+        for index in order:
+            if spent + caps[index] > budget + 1e-9:
+                continue
+            chosen.add(int(index))
+            spent += caps[index]
+            if spent >= budget - 1e-9:
+                break
+        return chosen
+
+    def attack(
+        self,
+        capacities: Sequence[float],
+        placements: Sequence[Sequence[int]],
+        values: Sequence[float],
+        budget_fraction: float,
+    ) -> CorruptionOutcome:
+        """Choose sectors and evaluate the resulting loss."""
+        chosen = self.choose_sectors(capacities, placements, values, budget_fraction)
+        return evaluate_loss(placements, values, chosen, capacities)
+
+
+class GreedyCapacityAdversary:
+    """Targets sectors that most cheaply complete the destruction of files.
+
+    Iteratively scores each healthy sector by the value of files it would
+    *finish off* (files whose every other replica is already corrupted),
+    falling back to the count of hosted replicas, and corrupts the best
+    sector that still fits the budget.  This models a strategic adversary
+    and upper-bounds what random failures achieve at the same budget.
+    """
+
+    def __init__(self, seed: int = 17) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def choose_sectors(
+        self,
+        capacities: Sequence[float],
+        placements: Sequence[Sequence[int]],
+        values: Sequence[float],
+        budget_fraction: float,
+    ) -> Set[int]:
+        """Greedy selection under the capacity budget."""
+        if not 0 <= budget_fraction <= 1:
+            raise ValueError("budget_fraction must lie in [0, 1]")
+        caps = np.asarray(capacities, dtype=float)
+        n_sectors = len(caps)
+        budget = budget_fraction * float(caps.sum())
+
+        # sector -> list of (file_index, replica_multiplicity in that sector)
+        hosted: List[Dict[int, int]] = [dict() for _ in range(n_sectors)]
+        remaining_healthy: List[int] = []
+        for file_index, sectors in enumerate(placements):
+            distinct = set(sectors)
+            remaining_healthy.append(len(distinct))
+            for sector in distinct:
+                hosted[sector][file_index] = hosted[sector].get(file_index, 0) + 1
+
+        chosen: Set[int] = set()
+        spent = 0.0
+        candidates = set(range(n_sectors))
+        while candidates:
+            best_sector = None
+            best_score = (-1.0, -1.0)
+            for sector in candidates:
+                if spent + caps[sector] > budget + 1e-9:
+                    continue
+                finishing_value = 0.0
+                replica_count = 0
+                for file_index in hosted[sector]:
+                    replica_count += 1
+                    if remaining_healthy[file_index] == 1:
+                        finishing_value += values[file_index]
+                score = (finishing_value, float(replica_count) / max(caps[sector], 1e-12))
+                if score > best_score:
+                    best_score = score
+                    best_sector = sector
+            if best_sector is None:
+                break
+            candidates.discard(best_sector)
+            chosen.add(best_sector)
+            spent += caps[best_sector]
+            for file_index in hosted[best_sector]:
+                remaining_healthy[file_index] -= 1
+        return chosen
+
+    def attack(
+        self,
+        capacities: Sequence[float],
+        placements: Sequence[Sequence[int]],
+        values: Sequence[float],
+        budget_fraction: float,
+    ) -> CorruptionOutcome:
+        """Choose sectors greedily and evaluate the resulting loss."""
+        chosen = self.choose_sectors(capacities, placements, values, budget_fraction)
+        return evaluate_loss(placements, values, chosen, capacities)

@@ -1,0 +1,120 @@
+"""A deterministic discrete-event simulation engine.
+
+Events are ``(time, priority, sequence)``-ordered callbacks.  The engine is
+deliberately small: the FileInsurer protocol has its own pending list for
+consensus-level tasks, so this engine only coordinates the *off-chain*
+world (file transfers, proof submission, provider churn, adversary
+actions) around it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Event", "SimulationEngine"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled simulation event."""
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class SimulationEngine:
+    """Priority-queue driven event loop over simulated time."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.now + delay, callback, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError("cannot schedule an event in the past")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Run the next event; returns it, or None if the queue is empty."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        event.callback()
+        self.events_processed += 1
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` passes, or a cap hits.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        self._stopped = False
+        while self._queue and not self._stopped:
+            if until is not None and self._queue[0].time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        if until is not None and until > self.now:
+            self.now = until
+        return processed
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to stop after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the next event, or None if nothing is queued."""
+        return self._queue[0].time if self._queue else None

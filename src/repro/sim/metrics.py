@@ -1,0 +1,123 @@
+"""Metric collection for simulations and experiments.
+
+A tiny, dependency-free metrics layer: named time series of numeric
+samples with summary statistics, plus a table formatter the experiment
+drivers use to print paper-style rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["MetricSeries", "MetricsCollector", "format_table"]
+
+
+@dataclass
+class MetricSeries:
+    """A named series of ``(time, value)`` samples."""
+
+    name: str
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample."""
+        self.samples.append((time, float(value)))
+
+    def values(self) -> List[float]:
+        """All sample values in recording order."""
+        return [value for _, value in self.samples]
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Number of samples."""
+        return len(self.samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 for an empty series)."""
+        values = self.values()
+        return sum(values) / len(values) if values else 0.0
+
+    def maximum(self) -> float:
+        """Largest sample (0.0 for an empty series)."""
+        values = self.values()
+        return max(values) if values else 0.0
+
+    def minimum(self) -> float:
+        """Smallest sample (0.0 for an empty series)."""
+        values = self.values()
+        return min(values) if values else 0.0
+
+    def stddev(self) -> float:
+        """Population standard deviation (0.0 for fewer than two samples)."""
+        values = self.values()
+        if len(values) < 2:
+            return 0.0
+        mean = self.mean()
+        return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0 <= q <= 100) using nearest-rank."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must lie in [0, 100]")
+        values = sorted(self.values())
+        if not values:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * len(values)))
+        return values[rank - 1]
+
+
+class MetricsCollector:
+    """A registry of named metric series."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, MetricSeries] = {}
+
+    def series(self, name: str) -> MetricSeries:
+        """Return (creating if needed) the series called ``name``."""
+        if name not in self._series:
+            self._series[name] = MetricSeries(name=name)
+        return self._series[name]
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Record one sample into ``name``."""
+        self.series(name).record(time, value)
+
+    def names(self) -> List[str]:
+        """All series names."""
+        return sorted(self._series)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-series summary statistics."""
+        return {
+            name: {
+                "count": float(series.count()),
+                "mean": series.mean(),
+                "min": series.minimum(),
+                "max": series.maximum(),
+                "stddev": series.stddev(),
+            }
+            for name, series in self._series.items()
+        }
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Format dictionaries as a fixed-width text table (paper-style output)."""
+    if not rows:
+        return "(no rows)"
+    chosen = list(columns) if columns else list(rows[0].keys())
+    widths = {column: len(str(column)) for column in chosen}
+    for row in rows:
+        for column in chosen:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    header = "  ".join(str(column).ljust(widths[column]) for column in chosen)
+    separator = "  ".join("-" * widths[column] for column in chosen)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in chosen)
+        )
+    return "\n".join(lines)

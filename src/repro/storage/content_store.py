@@ -1,0 +1,66 @@
+"""Content-addressed block store.
+
+The lowest layer of the IPFS substrate: a mapping from :class:`ContentId`
+to raw bytes, with integrity verified on insertion.  Providers, clients and
+the BitSwap exchange all use the same store abstraction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.crypto.hashing import ContentId
+
+__all__ = ["ContentStore", "BlockNotFoundError"]
+
+
+class BlockNotFoundError(KeyError):
+    """Raised when a requested block is not present in the store."""
+
+
+class ContentStore:
+    """An in-memory content-addressed store of immutable blocks."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[ContentId, bytes] = {}
+
+    def put(self, data: bytes) -> ContentId:
+        """Store ``data`` and return its content id."""
+        cid = ContentId.of(data)
+        self._blocks[cid] = data
+        return cid
+
+    def put_verified(self, cid: ContentId, data: bytes) -> None:
+        """Store ``data`` asserting it hashes to ``cid`` (network receive path)."""
+        if ContentId.of(data) != cid:
+            raise ValueError("block data does not match its content id")
+        self._blocks[cid] = data
+
+    def get(self, cid: ContentId) -> bytes:
+        """Return the block for ``cid`` or raise :class:`BlockNotFoundError`."""
+        try:
+            return self._blocks[cid]
+        except KeyError:
+            raise BlockNotFoundError(cid) from None
+
+    def has(self, cid: ContentId) -> bool:
+        """True if the store holds ``cid``."""
+        return cid in self._blocks
+
+    def delete(self, cid: ContentId) -> bool:
+        """Remove ``cid``; returns whether it was present."""
+        return self._blocks.pop(cid, None) is not None
+
+    def cids(self) -> Iterator[ContentId]:
+        """Iterate over all stored content ids."""
+        return iter(self._blocks.keys())
+
+    def size_bytes(self) -> int:
+        """Total bytes held."""
+        return sum(len(block) for block in self._blocks.values())
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, cid: object) -> bool:
+        return cid in self._blocks

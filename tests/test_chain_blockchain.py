@@ -1,0 +1,104 @@
+"""Tests for transactions, blocks and the blockchain with leader election."""
+
+import pytest
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.blockchain import Blockchain, ConsensusConfig
+from repro.chain.transaction import Transaction, TransactionReceipt
+
+
+class TestTransaction:
+    def test_hash_depends_on_payload(self):
+        a = Transaction(sender="alice", method="file_add", payload={"size": 1}, nonce=1)
+        b = Transaction(sender="alice", method="file_add", payload={"size": 2}, nonce=1)
+        assert a.tx_hash != b.tx_hash
+
+    def test_hash_depends_on_nonce(self):
+        a = Transaction(sender="alice", method="m", payload={}, nonce=1)
+        b = Transaction(sender="alice", method="m", payload={}, nonce=2)
+        assert a.tx_hash != b.tx_hash
+
+    def test_nonces_auto_increment(self):
+        a = Transaction(sender="alice", method="m")
+        b = Transaction(sender="alice", method="m")
+        assert a.nonce != b.nonce
+
+    def test_describe_mentions_method_and_sender(self):
+        tx = Transaction(sender="alice", method="file_add")
+        assert "file_add" in tx.describe()
+        assert "alice" in tx.describe()
+
+
+class TestBlockStructure:
+    def test_transactions_root_stable(self):
+        txs = [Transaction(sender="a", method="m", nonce=i) for i in range(3)]
+        assert Block.transactions_root(txs) == Block.transactions_root(list(txs))
+
+    def test_empty_transactions_root_defined(self):
+        assert isinstance(Block.transactions_root([]), bytes)
+
+    def test_block_hash_changes_with_parent(self):
+        header_a = BlockHeader(1, b"p" * 32, b"t" * 32, b"s" * 32, 1.0, "x", b"b" * 32)
+        header_b = BlockHeader(1, b"q" * 32, b"t" * 32, b"s" * 32, 1.0, "x", b"b" * 32)
+        assert header_a.block_hash != header_b.block_hash
+
+
+class TestBlockchain:
+    def test_genesis_exists(self):
+        chain = Blockchain()
+        assert chain.height == 0
+        assert len(chain.blocks()) == 1
+
+    def test_produce_blocks_advances_height_and_time(self):
+        chain = Blockchain(config=ConsensusConfig(epoch_seconds=10.0))
+        chain.run_epochs(3)
+        assert chain.height == 3
+        assert chain.current_time() == pytest.approx(30.0)
+
+    def test_chain_validates(self):
+        chain = Blockchain()
+        chain.run_epochs(5)
+        assert chain.validate_chain()
+
+    def test_transactions_executed_and_receipts_stored(self):
+        chain = Blockchain()
+        tx = Transaction(sender="alice", method="anything")
+        chain.submit(tx)
+        block = chain.produce_block()
+        assert len(block.transactions) == 1
+        receipt = chain.receipt(tx.tx_hash)
+        assert receipt is not None and receipt.success
+        assert receipt.block_height == block.height
+
+    def test_mempool_drains_in_batches(self):
+        chain = Blockchain(config=ConsensusConfig(max_transactions_per_block=2))
+        for i in range(5):
+            chain.submit(Transaction(sender="a", method="m", nonce=1000 + i))
+        first = chain.produce_block()
+        second = chain.produce_block()
+        third = chain.produce_block()
+        assert [len(b.transactions) for b in (first, second, third)] == [2, 2, 1]
+
+    def test_leader_election_prefers_capacity(self):
+        chain = Blockchain()
+        chain.register_capacity("big-provider", 50)
+        chain.register_capacity("small-provider", 1)
+        winners = [chain.produce_block().header.producer for _ in range(30)]
+        assert winners.count("big-provider") > winners.count("small-provider")
+
+    def test_no_capacity_falls_back_to_network(self):
+        chain = Blockchain()
+        block = chain.produce_block()
+        assert block.header.producer == "@network"
+
+    def test_capacity_can_be_withdrawn(self):
+        chain = Blockchain()
+        chain.register_capacity("p", 5)
+        chain.register_capacity("p", 0)
+        block = chain.produce_block()
+        assert block.header.producer == "@network"
+
+    def test_negative_capacity_rejected(self):
+        chain = Blockchain()
+        with pytest.raises(ValueError):
+            chain.register_capacity("p", -1)

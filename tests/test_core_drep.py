@@ -1,0 +1,116 @@
+"""Tests for the Dynamic Replication (DRep) sector content model."""
+
+import pytest
+
+from repro.core.drep import DRepCostModel, SectorContentPlan, SlotKind
+
+KIB = 1024
+
+
+class TestInitialState:
+    def test_sector_starts_full_of_capacity_replicas(self):
+        plan = SectorContentPlan(capacity=96 * KIB, capacity_replica_size=16 * KIB)
+        assert plan.capacity_replica_count == 6
+        assert plan.unsealed_space() == 0
+        assert plan.invariant_holds()
+
+    def test_non_divisible_capacity_leaves_small_unsealed_tail(self):
+        plan = SectorContentPlan(capacity=100 * KIB, capacity_replica_size=16 * KIB)
+        assert plan.unsealed_space() < 16 * KIB
+        assert plan.invariant_holds()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SectorContentPlan(capacity=0, capacity_replica_size=16)
+        with pytest.raises(ValueError):
+            SectorContentPlan(capacity=10, capacity_replica_size=0)
+        with pytest.raises(ValueError):
+            SectorContentPlan(capacity=10, capacity_replica_size=20)
+
+
+class TestFigureTwoWalkthrough:
+    """Reproduces the three panels of Figure 2."""
+
+    def test_fill_then_shrink_regenerates_cr(self):
+        plan = SectorContentPlan(capacity=96 * KIB, capacity_replica_size=16 * KIB)
+        # (a) initially six CRs
+        assert plan.capacity_replica_count == 6
+        # (b) after filling some files, two CRs remain
+        plan.add_file("f1", 30 * KIB)
+        plan.add_file("f2", 34 * KIB)
+        assert plan.capacity_replica_count == 2
+        assert plan.invariant_holds()
+        # (c) when total file size decreases, a CR is regenerated
+        before = plan.capacity_replica_count
+        plan.remove_file("f1")
+        assert plan.capacity_replica_count > before
+        assert plan.invariant_holds()
+
+
+class TestMutations:
+    def test_add_file_too_large_rejected(self):
+        plan = SectorContentPlan(capacity=64 * KIB, capacity_replica_size=16 * KIB)
+        with pytest.raises(ValueError):
+            plan.add_file("big", 65 * KIB)
+
+    def test_duplicate_label_rejected(self):
+        plan = SectorContentPlan(capacity=64 * KIB, capacity_replica_size=16 * KIB)
+        plan.add_file("f", 1 * KIB)
+        with pytest.raises(ValueError):
+            plan.add_file("f", 1 * KIB)
+
+    def test_remove_unknown_raises(self):
+        plan = SectorContentPlan(capacity=64 * KIB, capacity_replica_size=16 * KIB)
+        with pytest.raises(KeyError):
+            plan.remove_file("nope")
+
+    def test_invariant_maintained_under_churn(self):
+        plan = SectorContentPlan(capacity=128 * KIB, capacity_replica_size=16 * KIB)
+        for i in range(6):
+            plan.add_file(f"f{i}", (5 + i) * KIB)
+            assert plan.invariant_holds()
+        for i in range(0, 6, 2):
+            plan.remove_file(f"f{i}")
+            assert plan.invariant_holds()
+
+    def test_layout_partitions_capacity(self):
+        plan = SectorContentPlan(capacity=96 * KIB, capacity_replica_size=16 * KIB)
+        plan.add_file("f1", 20 * KIB)
+        layout = plan.layout()
+        assert sum(slot.size for slot in layout) == 96 * KIB
+        kinds = {slot.kind for slot in layout}
+        assert SlotKind.FILE_REPLICA in kinds
+        assert SlotKind.CAPACITY_REPLICA in kinds
+
+
+class TestCostModel:
+    def test_transferred_replica_skips_snark(self):
+        plan = SectorContentPlan(capacity=64 * KIB, capacity_replica_size=16 * KIB)
+        snarks_before = plan.costs.snark_proofs
+        plan.add_file("moved", 8 * KIB, sealed_elsewhere=True)
+        assert plan.costs.snark_proofs == snarks_before
+
+    def test_new_upload_needs_snark(self):
+        plan = SectorContentPlan(capacity=64 * KIB, capacity_replica_size=16 * KIB)
+        snarks_before = plan.costs.snark_proofs
+        plan.add_file("new", 8 * KIB, sealed_elsewhere=False)
+        assert plan.costs.snark_proofs == snarks_before + 1
+
+    def test_cr_regeneration_costs_setup_but_no_snark(self):
+        plan = SectorContentPlan(capacity=64 * KIB, capacity_replica_size=16 * KIB)
+        plan.add_file("f", 20 * KIB)
+        snarks_before = plan.costs.snark_proofs
+        setups_before = plan.costs.porep_setups
+        plan.remove_file("f")  # triggers CR regeneration
+        assert plan.costs.snark_proofs == snarks_before
+        assert plan.costs.porep_setups > setups_before
+
+    def test_drep_cheaper_than_whole_sector_reseal(self):
+        plan = SectorContentPlan(capacity=256 * KIB, capacity_replica_size=16 * KIB)
+        for i in range(10):
+            plan.add_file(f"f{i}", 10 * KIB, sealed_elsewhere=(i % 2 == 0))
+        assert plan.costs.total_expensive_operations() < plan.naive_reseal_cost()
+
+    def test_cost_model_dataclass(self):
+        costs = DRepCostModel(porep_setups=3, snark_proofs=2)
+        assert costs.total_expensive_operations() == 5

@@ -1,0 +1,129 @@
+"""Tests for large-file segmentation and value-level subnetworks."""
+
+import pytest
+
+from repro.chain.ledger import Ledger
+from repro.core.large_files import LargeFileCodec
+from repro.core.params import ProtocolParams
+from repro.core.subnetworks import SubnetworkRouter, ValueLevel
+
+
+class TestLargeFileCodec:
+    def test_small_file_does_not_need_segmentation(self):
+        codec = LargeFileCodec(size_limit=1000, k=20)
+        assert not codec.needs_segmentation(1000)
+        assert codec.needs_segmentation(1001)
+
+    def test_plan_segments_doubles_for_parity(self):
+        codec = LargeFileCodec(size_limit=100, k=20)
+        data_segments, total = codec.plan_segments(250)
+        assert data_segments == 3
+        assert total == 6
+
+    def test_segment_value_formula(self):
+        codec = LargeFileCodec(size_limit=100, k=20)
+        assert codec.segment_value(100) == 10  # 2 * value / k
+        assert codec.segment_value(1) == 1  # floor at 1
+
+    def test_split_and_reassemble_all_segments(self):
+        codec = LargeFileCodec(size_limit=64, k=4)
+        data = bytes(range(256)) * 2
+        segmented = codec.split(data, value=8)
+        assert len(segmented.segments) == segmented.total_segments
+        assert codec.reassemble(segmented, segmented.segments) == data
+
+    def test_reassemble_with_half_segments_lost(self):
+        codec = LargeFileCodec(size_limit=64, k=4)
+        data = b"large file contents " * 20
+        segmented = codec.split(data, value=8)
+        surviving = segmented.segments[:: 2]  # keep every other segment (half)
+        assert len(surviving) >= segmented.data_segments
+        assert codec.reassemble(segmented, surviving) == data
+
+    def test_too_few_segments_fails(self):
+        codec = LargeFileCodec(size_limit=64, k=4)
+        data = b"x" * 300
+        segmented = codec.split(data, value=4)
+        with pytest.raises(ValueError):
+            codec.reassemble(segmented, segmented.segments[: segmented.data_segments - 1])
+
+    def test_each_segment_fits_limit_and_has_root(self):
+        codec = LargeFileCodec(size_limit=64, k=4)
+        segmented = codec.split(b"y" * 500, value=4)
+        for segment in segmented.segments:
+            assert segment.size <= 64 + 16  # limit plus the length framing overhead
+            assert len(segment.merkle_root) == 32
+
+    def test_can_recover_predicate(self):
+        codec = LargeFileCodec(size_limit=64, k=4)
+        segmented = codec.split(b"z" * 200, value=4)
+        assert codec.can_recover(segmented, range(segmented.data_segments))
+        assert not codec.can_recover(segmented, range(segmented.data_segments - 1))
+
+    def test_empty_file_rejected(self):
+        codec = LargeFileCodec(size_limit=64, k=4)
+        with pytest.raises(ValueError):
+            codec.split(b"", value=1)
+
+
+class TestValueLevels:
+    def test_contains(self):
+        level = ValueLevel("low", 1, 10)
+        assert level.contains(1) and level.contains(10)
+        assert not level.contains(11)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            ValueLevel("bad", 0, 10)
+        with pytest.raises(ValueError):
+            ValueLevel("bad", 10, 5)
+
+
+class TestSubnetworkRouter:
+    def make_router(self):
+        levels = [ValueLevel("low", 1, 9), ValueLevel("high", 10, 1000)]
+        params = ProtocolParams.small_test()
+        router = SubnetworkRouter(levels, base_params=params, charge_fees=False)
+        for level in ("low", "high"):
+            for index in range(3):
+                router.sector_register(level, f"{level}-prov-{index}", params.min_capacity)
+        return router
+
+    def test_overlapping_levels_rejected(self):
+        with pytest.raises(ValueError):
+            SubnetworkRouter([ValueLevel("a", 1, 10), ValueLevel("b", 10, 20)], charge_fees=False)
+
+    def test_routes_by_value(self):
+        router = self.make_router()
+        low = router.file_add("client", 1000, 3, b"\x00" * 32)
+        high = router.file_add("client", 1000, 50, b"\x01" * 32)
+        assert low.level == "low"
+        assert high.level == "high"
+
+    def test_value_outside_levels_rejected(self):
+        router = self.make_router()
+        with pytest.raises(ValueError):
+            router.level_for_value(10_000)
+
+    def test_replica_count_stays_bounded_for_high_values(self):
+        router = self.make_router()
+        single = router.subnetwork("low").params
+        replicas_single_network = single.replica_count(50 * single.min_value)
+        replicas_routed = router.replica_count_for_value(50)
+        assert replicas_routed < replicas_single_network
+
+    def test_locations_accessible_through_router(self):
+        router = self.make_router()
+        routed = router.file_add("client", 1000, 3, b"\x02" * 32)
+        locations = router.file_locations(routed)
+        assert len(locations) == router.subnetwork(routed.level).params.replica_count(3)
+
+    def test_advance_time_touches_all_subnetworks(self):
+        router = self.make_router()
+        router.advance_time(100.0)
+        for protocol in router.subnetworks.values():
+            assert protocol.now == 100.0
+
+    def test_summary_has_entry_per_level(self):
+        router = self.make_router()
+        assert set(router.summary()) == {"low", "high"}

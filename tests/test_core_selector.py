@@ -1,0 +1,126 @@
+"""Tests for the Fenwick-tree weighted sampler and the capacity selector."""
+
+import pytest
+
+from repro.core.selector import CapacitySelector, WeightedSampler
+from repro.crypto.prng import DeterministicPRNG
+
+
+@pytest.fixture
+def sampler_prng():
+    return DeterministicPRNG.from_int(99, domain="selector-test")
+
+
+class TestWeightedSampler:
+    def test_add_and_total_weight(self):
+        sampler = WeightedSampler()
+        sampler.add("a", 10)
+        sampler.add("b", 30)
+        assert sampler.total_weight == 40
+        assert len(sampler) == 2
+        assert set(sampler.keys()) == {"a", "b"}
+
+    def test_duplicate_key_rejected(self):
+        sampler = WeightedSampler()
+        sampler.add("a", 1)
+        with pytest.raises(KeyError):
+            sampler.add("a", 2)
+
+    def test_negative_weight_rejected(self):
+        sampler = WeightedSampler()
+        with pytest.raises(ValueError):
+            sampler.add("a", -1)
+
+    def test_remove_and_slot_reuse(self):
+        sampler = WeightedSampler()
+        for name in "abcde":
+            sampler.add(name, 5)
+        sampler.remove("c")
+        assert not sampler.contains("c")
+        sampler.add("f", 7)
+        assert sampler.total_weight == 4 * 5 + 7
+
+    def test_update_weight(self):
+        sampler = WeightedSampler()
+        sampler.add("a", 10)
+        sampler.update_weight("a", 3)
+        assert sampler.weight("a") == 3
+        assert sampler.total_weight == 3
+
+    def test_sample_respects_weights(self, sampler_prng):
+        sampler = WeightedSampler()
+        sampler.add("heavy", 90)
+        sampler.add("light", 10)
+        counts = {"heavy": 0, "light": 0}
+        for _ in range(2000):
+            counts[sampler.sample(sampler_prng)] += 1
+        assert 0.8 < counts["heavy"] / 2000 < 0.98
+
+    def test_sample_never_returns_zero_weight_key(self, sampler_prng):
+        sampler = WeightedSampler()
+        sampler.add("zero", 0)
+        sampler.add("one", 1)
+        for _ in range(200):
+            assert sampler.sample(sampler_prng) == "one"
+
+    def test_sample_empty_raises(self, sampler_prng):
+        with pytest.raises(ValueError):
+            WeightedSampler().sample(sampler_prng)
+
+    def test_sample_after_removal_excludes_removed(self, sampler_prng):
+        sampler = WeightedSampler()
+        sampler.add("a", 50)
+        sampler.add("b", 50)
+        sampler.remove("a")
+        for _ in range(100):
+            assert sampler.sample(sampler_prng) == "b"
+
+    def test_large_population_uniformity(self, sampler_prng):
+        sampler = WeightedSampler()
+        for i in range(200):
+            sampler.add(f"s{i}", 1)
+        counts = {}
+        draws = 10_000
+        for _ in range(draws):
+            key = sampler.sample(sampler_prng)
+            counts[key] = counts.get(key, 0) + 1
+        expected = draws / 200
+        assert max(counts.values()) < expected * 3
+
+
+class TestCapacitySelector:
+    def test_random_sector_proportional_to_capacity(self, sampler_prng):
+        selector = CapacitySelector(sampler_prng)
+        selector.add_sector("big", 900)
+        selector.add_sector("small", 100)
+        counts = {"big": 0, "small": 0}
+        for _ in range(2000):
+            counts[selector.random_sector()] += 1
+        assert counts["big"] > counts["small"] * 4
+
+    def test_select_with_space_skips_full_sectors(self, sampler_prng):
+        selector = CapacitySelector(sampler_prng)
+        selector.add_sector("full", 500)
+        selector.add_sector("empty", 500)
+        free = {"full": 0, "empty": 500}
+        chosen = selector.select_with_space(100, lambda s: free[s])
+        assert chosen == "empty"
+        assert selector.collisions >= 0
+
+    def test_select_with_space_counts_collisions(self, sampler_prng):
+        selector = CapacitySelector(sampler_prng, max_attempts=50)
+        selector.add_sector("full", 1000)
+        assert selector.select_with_space(10, lambda s: 0) is None
+        assert selector.collisions == 50
+
+    def test_select_with_space_empty_selector(self, sampler_prng):
+        selector = CapacitySelector(sampler_prng)
+        assert selector.select_with_space(10, lambda s: 100) is None
+
+    def test_remove_sector_idempotent(self, sampler_prng):
+        selector = CapacitySelector(sampler_prng)
+        selector.add_sector("a", 10)
+        selector.remove_sector("a")
+        selector.remove_sector("a")
+        assert len(selector) == 0
+        assert selector.total_capacity == 0

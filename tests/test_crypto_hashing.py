@@ -1,0 +1,71 @@
+"""Tests for content identifiers and hashing helpers."""
+
+import pytest
+
+from repro.crypto.hashing import ContentId, derive_key, hash_bytes, hash_concat, hash_ints
+
+
+class TestHashBytes:
+    def test_deterministic(self):
+        assert hash_bytes(b"abc") == hash_bytes(b"abc")
+
+    def test_differs_for_different_input(self):
+        assert hash_bytes(b"abc") != hash_bytes(b"abd")
+
+    def test_digest_length(self):
+        assert len(hash_bytes(b"")) == 32
+
+
+class TestHashConcat:
+    def test_length_framing_prevents_ambiguity(self):
+        assert hash_concat(b"ab", b"c") != hash_concat(b"a", b"bc")
+
+    def test_empty_parts_are_distinct_from_no_parts(self):
+        assert hash_concat(b"") != hash_concat()
+
+    def test_order_matters(self):
+        assert hash_concat(b"a", b"b") != hash_concat(b"b", b"a")
+
+
+class TestHashInts:
+    def test_deterministic(self):
+        assert hash_ints(1, 2, 3) == hash_ints(1, 2, 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hash_ints(-1)
+
+    def test_boundary_values_distinct(self):
+        assert hash_ints(255, 1) != hash_ints(255, 0)
+        assert hash_ints(0) != hash_ints(1)
+
+
+class TestDeriveKey:
+    def test_label_separation(self):
+        seed = b"seed"
+        assert derive_key(seed, "a") != derive_key(seed, "b")
+
+    def test_index_separation(self):
+        seed = b"seed"
+        assert derive_key(seed, "a", 0) != derive_key(seed, "a", 1)
+
+
+class TestContentId:
+    def test_of_roundtrip_hex(self):
+        cid = ContentId.of(b"hello")
+        assert ContentId.from_hex(cid.hex) == cid
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            ContentId(b"short")
+
+    def test_orderable_and_hashable(self):
+        a = ContentId.of(b"a")
+        b = ContentId.of(b"b")
+        assert len({a, b}) == 2
+        assert sorted([a, b]) in ([a, b], [b, a])
+
+    def test_short_prefix(self):
+        cid = ContentId.of(b"hello")
+        assert cid.hex.startswith(cid.short(8))
+        assert len(cid.short(8)) == 8

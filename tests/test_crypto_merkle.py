@@ -1,0 +1,76 @@
+"""Tests for Merkle trees and inclusion proofs."""
+
+import pytest
+
+from repro.crypto.merkle import MerkleProof, MerkleTree, chunk_bytes, merkle_root
+
+
+class TestChunkBytes:
+    def test_exact_multiple(self):
+        chunks = chunk_bytes(b"aabb", 2)
+        assert chunks == [b"aa", b"bb"]
+
+    def test_remainder_chunk(self):
+        chunks = chunk_bytes(b"aabbc", 2)
+        assert chunks == [b"aa", b"bb", b"c"]
+
+    def test_empty_input_single_empty_chunk(self):
+        assert chunk_bytes(b"", 4) == [b""]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_bytes(b"abc", 0)
+
+
+class TestMerkleTree:
+    def test_single_leaf_root_differs_from_leaf_hash_prefixing(self):
+        tree = MerkleTree([b"only"])
+        assert tree.root == tree.leaf_hash(0)
+        assert tree.leaf_count == 1
+
+    def test_root_changes_with_content(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+    def test_root_changes_with_order(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    def test_empty_leaves_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree([])
+
+    def test_from_data_matches_manual_chunks(self):
+        data = bytes(range(200))
+        assert MerkleTree.from_data(data, 64).root == MerkleTree(chunk_bytes(data, 64)).root
+
+    @pytest.mark.parametrize("leaf_count", [1, 2, 3, 4, 5, 8, 13, 16, 31])
+    def test_all_proofs_verify(self, leaf_count):
+        leaves = [bytes([i]) * 10 for i in range(leaf_count)]
+        tree = MerkleTree(leaves)
+        for index in range(leaf_count):
+            proof = tree.prove(index)
+            assert proof.verify(tree.root)
+
+    def test_proof_fails_against_wrong_root(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        other = MerkleTree([b"a", b"b", b"d"])
+        proof = tree.prove(2)
+        assert not proof.verify(other.root)
+
+    def test_tampered_proof_path_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        proof = tree.prove(1)
+        tampered = MerkleProof(
+            leaf_index=proof.leaf_index,
+            leaf_hash=proof.leaf_hash,
+            path=tuple(bytes(32) for _ in proof.path),
+            directions=proof.directions,
+        )
+        assert not tampered.verify(tree.root)
+
+    def test_prove_out_of_range(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(IndexError):
+            tree.prove(1)
+
+    def test_merkle_root_helper(self):
+        assert merkle_root([b"a", b"b"]) == MerkleTree([b"a", b"b"]).root

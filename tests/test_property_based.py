@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chain.ledger import Ledger
+from repro.core.drep import SectorContentPlan
+from repro.core.large_files import LargeFileCodec
+from repro.core.selector import WeightedSampler
+from repro.crypto.erasure import ReedSolomonCode
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.prng import DeterministicPRNG
+
+SETTINGS = settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Merkle trees
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=40))
+def test_merkle_every_leaf_proof_verifies(leaves):
+    tree = MerkleTree(leaves)
+    for index in range(len(leaves)):
+        assert tree.prove(index).verify(tree.root)
+
+
+@SETTINGS
+@given(
+    st.lists(st.binary(min_size=1, max_size=32), min_size=2, max_size=20),
+    st.integers(min_value=0, max_value=19),
+)
+def test_merkle_root_sensitive_to_any_leaf_change(leaves, position):
+    position = position % len(leaves)
+    tree = MerkleTree(leaves)
+    mutated = list(leaves)
+    mutated[position] = mutated[position] + b"\x01"
+    assert MerkleTree(mutated).root != tree.root
+
+
+# ----------------------------------------------------------------------
+# Reed-Solomon erasure code
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    data=st.binary(min_size=0, max_size=300),
+    data_shards=st.integers(min_value=1, max_value=6),
+    parity_shards=st.integers(min_value=0, max_value=6),
+    drop_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_reed_solomon_recovers_from_any_sufficient_subset(
+    data, data_shards, parity_shards, drop_seed
+):
+    code = ReedSolomonCode(data_shards, parity_shards)
+    shards = code.encode(data)
+    prng = DeterministicPRNG.from_int(drop_seed, domain="rs-drop")
+    surviving = list(shards)
+    prng.shuffle(surviving)
+    surviving = surviving[:data_shards]
+    assert code.decode(surviving) == data
+
+
+# ----------------------------------------------------------------------
+# Weighted sampler (Fenwick tree)
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1000), st.booleans()),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_weighted_sampler_total_weight_matches_contents(operations):
+    sampler = WeightedSampler()
+    expected = {}
+    for index, (weight, remove_later) in enumerate(operations):
+        key = f"k{index}"
+        sampler.add(key, weight)
+        expected[key] = weight
+        if remove_later and index % 2 == 0:
+            sampler.remove(key)
+            del expected[key]
+    assert sampler.total_weight == sum(expected.values())
+    assert len(sampler) == len(expected)
+    if sampler.total_weight > 0:
+        prng = DeterministicPRNG.from_int(1, domain="sampler-prop")
+        for _ in range(10):
+            key = sampler.sample(prng)
+            assert expected.get(key, 0) > 0
+
+
+# ----------------------------------------------------------------------
+# Ledger conservation
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["mint", "transfer", "lock", "release", "confiscate", "burn"]),
+            st.integers(min_value=1, max_value=1000),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_ledger_conservation_under_arbitrary_operation_sequences(operations):
+    ledger = Ledger()
+    accounts = [f"acct-{i}" for i in range(4)]
+    for op, amount, a, b in operations:
+        src, dst = accounts[a], accounts[b]
+        ledger.ensure_account(src)
+        ledger.ensure_account(dst)
+        try:
+            if op == "mint":
+                ledger.mint(src, amount)
+            elif op == "transfer":
+                ledger.transfer(src, dst, amount)
+            elif op == "lock":
+                ledger.lock(src, amount)
+            elif op == "release":
+                ledger.release(src, amount)
+            elif op == "confiscate":
+                ledger.confiscate(src, amount, recipient=dst)
+            elif op == "burn":
+                ledger.burn(src, amount)
+        except Exception:
+            # Failed operations must not corrupt the books either.
+            pass
+        assert ledger.check_conservation()
+
+
+# ----------------------------------------------------------------------
+# DRep invariant
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=40), st.booleans()),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_drep_unsealed_space_always_below_one_cr(file_operations):
+    plan = SectorContentPlan(capacity=1000, capacity_replica_size=50)
+    stored = []
+    for index, (size, remove_one) in enumerate(file_operations):
+        label = f"f{index}"
+        if size <= plan.free_for_files():
+            plan.add_file(label, size)
+            stored.append(label)
+        if remove_one and stored:
+            plan.remove_file(stored.pop())
+        assert plan.invariant_holds()
+        assert plan.file_bytes() + plan.capacity_replica_bytes() + plan.unsealed_space() == 1000
+
+
+# ----------------------------------------------------------------------
+# PRNG ranges
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=-100, max_value=100),
+    st.integers(min_value=0, max_value=200),
+)
+def test_prng_randint_always_within_bounds(seed, low, span):
+    prng = DeterministicPRNG.from_int(seed, domain="prop-randint")
+    high = low + span
+    for _ in range(20):
+        value = prng.randint(low, high)
+        assert low <= value <= high
+
+
+# ----------------------------------------------------------------------
+# Large-file segmentation
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(
+    data=st.binary(min_size=1, max_size=600),
+    size_limit=st.integers(min_value=16, max_value=128),
+    drop_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_large_file_survives_loss_of_half_the_segments(data, size_limit, drop_seed):
+    codec = LargeFileCodec(size_limit=size_limit, k=10)
+    segmented = codec.split(data, value=10)
+    prng = DeterministicPRNG.from_int(drop_seed, domain="segment-drop")
+    surviving = list(segmented.segments)
+    prng.shuffle(surviving)
+    # Keep exactly half the segments (the paper's survivability target).
+    surviving = surviving[: segmented.total_segments // 2]
+    assert codec.reassemble(segmented, surviving) == data

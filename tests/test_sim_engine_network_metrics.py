@@ -1,0 +1,160 @@
+"""Tests for the simulation engine, network model and metrics."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsCollector, format_table
+from repro.sim.network import LatencyModel, SimulatedNetwork
+
+
+class TestSimulationEngine:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 3.0
+        assert engine.events_processed == 3
+
+    def test_priority_breaks_ties(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("low"), priority=5)
+        engine.schedule(1.0, lambda: order.append("high"), priority=1)
+        engine.run()
+        assert order == ["high", "low"]
+
+    def test_run_until_stops_at_horizon(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(2))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        assert engine.pending_count() == 1
+
+    def test_events_can_schedule_more_events(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def chain():
+            fired.append(len(fired))
+            if len(fired) < 5:
+                engine.schedule(1.0, chain)
+
+        engine.schedule(1.0, chain)
+        engine.run()
+        assert len(fired) == 5
+
+    def test_stop_halts_processing(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: (fired.append(1), engine.stop()))
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+
+    def test_max_events_cap(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule(float(i), lambda: None)
+        assert engine.run(max_events=4) == 4
+
+    def test_past_scheduling_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+
+
+class TestNetwork:
+    def test_transfer_time_scales_with_size(self):
+        latency = LatencyModel(base_latency_s=0.1, bandwidth_bytes_per_s=1000, jitter_fraction=0)
+        assert latency.transfer_time(1000) == pytest.approx(1.1)
+        assert latency.transfer_time(0) == pytest.approx(0.1)
+
+    def test_transfer_records_and_counters(self):
+        network = SimulatedNetwork(LatencyModel(jitter_fraction=0))
+        message = network.transfer("a", "b", 500, now=1.0)
+        assert message is not None
+        assert message.delivered_at > 1.0
+        assert network.bytes_sent["a"] == 500
+        assert network.bytes_received["b"] == 500
+        assert network.total_bytes_transferred() == 500
+
+    def test_offline_nodes_fail_transfers(self):
+        network = SimulatedNetwork()
+        network.set_offline("b")
+        assert network.transfer("a", "b", 100, now=0.0) is None
+        network.set_offline("b", offline=False)
+        assert network.transfer("a", "b", 100, now=0.0) is not None
+
+    def test_meets_deadline(self):
+        network = SimulatedNetwork(LatencyModel(base_latency_s=1.0, jitter_fraction=0))
+        message = network.transfer("a", "b", 0, now=0.0)
+        assert network.meets_deadline(message, deadline=2.0)
+        assert not network.meets_deadline(message, deadline=0.5)
+        assert not network.meets_deadline(None, deadline=10.0)
+
+    def test_traffic_summary(self):
+        network = SimulatedNetwork()
+        network.transfer("a", "b", 10, now=0.0)
+        network.transfer("b", "a", 20, now=0.0)
+        summary = network.traffic_summary()
+        assert summary["a"] == (10, 20)
+        assert summary["b"] == (20, 10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel().transfer_time(-1)
+
+
+class TestMetrics:
+    def test_series_statistics(self):
+        collector = MetricsCollector()
+        for i, value in enumerate([1.0, 2.0, 3.0, 4.0]):
+            collector.record("usage", float(i), value)
+        series = collector.series("usage")
+        assert series.count() == 4
+        assert series.mean() == pytest.approx(2.5)
+        assert series.maximum() == 4.0
+        assert series.minimum() == 1.0
+        assert series.stddev() == pytest.approx(1.118, rel=0.01)
+        assert series.percentile(50) == 2.0
+        assert series.percentile(100) == 4.0
+
+    def test_empty_series_statistics(self):
+        collector = MetricsCollector()
+        series = collector.series("empty")
+        assert series.mean() == 0.0
+        assert series.maximum() == 0.0
+        assert series.stddev() == 0.0
+
+    def test_percentile_bounds(self):
+        collector = MetricsCollector()
+        collector.record("x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            collector.series("x").percentile(101)
+
+    def test_summary_contains_all_series(self):
+        collector = MetricsCollector()
+        collector.record("a", 0.0, 1.0)
+        collector.record("b", 0.0, 2.0)
+        assert set(collector.summary()) == {"a", "b"}
+        assert collector.names() == ["a", "b"]
+
+    def test_format_table(self):
+        rows = [{"x": 1, "y": "abc"}, {"x": 22, "y": "d"}]
+        text = format_table(rows)
+        assert "x" in text and "abc" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
