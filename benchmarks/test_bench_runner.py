@@ -1,0 +1,82 @@
+"""Benchmark: runner orchestration -- serial vs. multiprocess wall-clock.
+
+Times the same robustness Monte-Carlo batch (a fixed grid of Theorem 3
+trials) through the :mod:`repro.runner` executor serially and with four
+worker processes.  Trials are embarrassingly parallel, so on a machine
+with >= 4 cores the parallel run must be at least 1.5x faster; on smaller
+machines the speedup assertion is skipped but the determinism guarantee
+(byte-identical per-trial rows regardless of worker count) is still
+verified.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runner.executor import run_scenario
+from repro.runner.registry import load_builtin_scenarios
+
+#: Fixed robustness grid: 8 Monte-Carlo corruption trials at lambda=0.5.
+BATCH = {
+    "lambdas": (0.5,),
+    "n_sectors": 1500,
+    "n_files": 1500,
+    "k": 8,
+    "trials": 4,  # x2 adversaries = 8 independent trials
+}
+
+#: Smaller grid for the determinism check that runs on any machine.
+SMALL_BATCH = {
+    "lambdas": (0.5,),
+    "n_sectors": 400,
+    "n_files": 400,
+    "k": 6,
+    "trials": 2,
+}
+
+
+def test_parallel_rows_identical_to_serial(benchmark, record):
+    """Workers change wall-clock only: per-trial rows stay byte-identical."""
+    load_builtin_scenarios()
+    serial = run_scenario("robustness", SMALL_BATCH, workers=1, seed=7)
+
+    def run():
+        return run_scenario("robustness", SMALL_BATCH, workers=2, seed=7)
+
+    parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert serial.trial_rows_equal(parallel)
+    assert serial.rows == parallel.rows
+    record(
+        "Runner determinism (robustness, seed=7): serial vs 2-worker rows",
+        "identical",
+        "identical by construction (root-seed-derived trial seeds)",
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel speedup needs at least 4 CPU cores",
+)
+def test_parallel_speedup_with_4_workers(benchmark, record):
+    """Four workers complete the fixed robustness batch >= 1.5x faster."""
+    load_builtin_scenarios()
+    serial = run_scenario("robustness", BATCH, workers=1, seed=7)
+
+    def run():
+        return run_scenario("robustness", BATCH, workers=4, seed=7)
+
+    parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert serial.trial_rows_equal(parallel)
+    speedup = serial.duration_seconds / max(parallel.duration_seconds, 1e-9)
+    record(
+        "Runner speedup (8 robustness trials, 4 workers)",
+        f"{speedup:.2f}x",
+        ">= 1.5x on a >=4-core machine",
+    )
+    assert speedup >= 1.5, (
+        f"expected >=1.5x speedup with 4 workers, got {speedup:.2f}x "
+        f"(serial {serial.duration_seconds:.2f}s, "
+        f"parallel {parallel.duration_seconds:.2f}s)"
+    )

@@ -1,0 +1,10 @@
+"""``python -m repro`` -- the experiment orchestration front door.
+
+Delegates to :mod:`repro.runner.cli`; also the target of the ``repro``
+console script declared in ``pyproject.toml``.
+"""
+
+from repro.runner.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,10 +15,60 @@ driver module here (see the experiment index in DESIGN.md):
 * :mod:`repro.experiments.scalability` -- Theorem 1 storable-size bound.
 
 Each module exposes ``run_*`` functions returning plain row dictionaries
-and a ``main()`` that prints a paper-style table; ``python -m
-repro.experiments.<name>`` runs it from the command line.
+and registers a *scenario* with :mod:`repro.runner`, so the preferred
+front door is the unified CLI::
+
+    python -m repro list
+    python -m repro run robustness --workers 4 --seed 7 --out results.json
+
+``python -m repro.experiments.<name>`` still works: every module's
+``__main__`` guard delegates to the shared :func:`_cli_main`, which calls
+the module's ``main()`` -- itself routed through
+:func:`repro.runner.run_scenario` -- so the full paper-style report
+(analytic bound sweeps, paper-point lines, Monte-Carlo tables) is printed
+and trials can be parallelised with ``--workers N``.  Scenario parameter
+overrides (``--set key=value``) are available through the unified CLI.
 """
+
+from typing import Callable, Optional, Sequence
 
 from repro.experiments import collision, deposit, robustness, scalability, table3, table4
 
 __all__ = ["collision", "deposit", "robustness", "scalability", "table3", "table4"]
+
+
+def _cli_main(
+    main_fn: Callable[..., object], argv: Optional[Sequence[str]] = None
+) -> int:
+    """Shared ``python -m repro.experiments.<name>`` guard.
+
+    Parses the runner-wide flags (``--workers``, ``--seed``) and invokes
+    the module's ``main()``, which executes its grid through
+    :func:`repro.runner.run_scenario` and prints the full report.  Returns
+    a process exit code (callers should ``raise SystemExit`` on it).
+    """
+    import argparse
+
+    from repro.runner.registry import ScenarioError
+
+    parser = argparse.ArgumentParser(
+        description=(main_fn.__doc__ or "experiment driver").splitlines()[0]
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default 1)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="root seed (default: the driver's own)"
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    kwargs = {"workers": args.workers}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    try:
+        main_fn(**kwargs)
+    except ScenarioError as error:
+        print(f"error: {error}")
+        return 2
+    return 0

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.analysis import theorem2_collision_probability_bound
+from repro.runner.registry import ParamSpec, scenario
 from repro.sim.metrics import format_table
 
 __all__ = ["run_bound_sweep", "run_monte_carlo", "main"]
@@ -83,8 +84,88 @@ def run_monte_carlo(
     return rows
 
 
-def main() -> Dict[str, List[Dict[str, object]]]:
+# ----------------------------------------------------------------------
+# Runner scenario: each ratio's trials split into independent batches
+# ----------------------------------------------------------------------
+_SCENARIO_PARAMS = {
+    "ratios": ParamSpec((8, 16, 32, 64), "capacity/size ratios to test"),
+    "n_sectors": ParamSpec(200, "sectors per placement"),
+    "trials": ParamSpec(200, "Monte-Carlo placements per ratio"),
+    "batches": ParamSpec(4, "independent batches each ratio's trials split into"),
+}
+
+
+def _build_trials(params):
+    """Split every ratio's Monte-Carlo trials into independent batches."""
+    total = params["trials"]
+    batches = max(1, min(params["batches"], total))
+    base, remainder = divmod(total, batches)
+    sizes = [base + (1 if index < remainder else 0) for index in range(batches)]
+    return [
+        {"ratio": ratio, "n_sectors": params["n_sectors"], "trials": size}
+        for ratio in params["ratios"]
+        for size in sizes
+        if size > 0
+    ]
+
+
+def _aggregate(rows, params):
+    """Merge batches per ratio and compare with the analytic bound."""
+    summary: List[Dict[str, object]] = []
+    for ratio in params["ratios"]:
+        batch_rows = [row for row in rows if row["capacity/size"] == ratio]
+        hits = sum(int(row["hits"]) for row in batch_rows)
+        trials = sum(int(row["trials"]) for row in batch_rows)
+        bound = theorem2_collision_probability_bound(
+            ns=params["n_sectors"], sector_capacity=ratio, file_size=1
+        )
+        empirical = hits / trials if trials else 0.0
+        summary.append(
+            {
+                "capacity/size": ratio,
+                "Ns": params["n_sectors"],
+                "trials": trials,
+                "empirical_prob": round(empirical, 4),
+                "theorem2_bound": f"{min(bound, 1.0):.3e}",
+                "bound_holds": empirical <= min(bound, 1.0) + 1e-12,
+            }
+        )
+    return summary
+
+
+@scenario(
+    "collision",
+    "Theorem 2: empirical collision probability vs the analytic bound",
+    build_trials=_build_trials,
+    params=_SCENARIO_PARAMS,
+    aggregate=_aggregate,
+    tags=("theorem2", "monte-carlo"),
+)
+def _collision_trial(task) -> Dict[str, object]:
+    """Count Theorem 2 events in one batch of random placements."""
+    rng = np.random.default_rng(task["seed"])
+    ratio = task["ratio"]
+    n_sectors = task["n_sectors"]
+    backups = n_sectors * ratio // 2
+    threshold = ratio - ratio / 8.0
+    hits = 0
+    for _ in range(task["trials"]):
+        assignment = rng.integers(0, n_sectors, backups)
+        usage = np.bincount(assignment, minlength=n_sectors)
+        if usage.max() >= threshold:
+            hits += 1
+    return {
+        "capacity/size": ratio,
+        "Ns": n_sectors,
+        "trials": task["trials"],
+        "hits": hits,
+    }
+
+
+def main(workers: int = 1, seed: int = 0) -> Dict[str, List[Dict[str, object]]]:
     """Print the analytic sweep and the Monte-Carlo check."""
+    from repro.runner.executor import run_scenario
+
     bound_rows = run_bound_sweep()
     print("\nTheorem 2 bound: Pr[exists s with freeCap <= capacity/8]")
     print(format_table(bound_rows))
@@ -93,11 +174,14 @@ def main() -> Dict[str, List[Dict[str, object]]]:
         f"paper's operating point (capacity/size=1000, Ns=1e12): bound = "
         f"{paper_point:.3e} (< 1e-50 as claimed)"
     )
-    mc_rows = run_monte_carlo()
-    print("\nMonte-Carlo check at small capacity/size ratios")
-    print(format_table(mc_rows))
-    return {"bound": bound_rows, "monte_carlo": mc_rows}
+    manifest = run_scenario("collision", workers=workers, seed=seed)
+    print("\nMonte-Carlo check at small capacity/size ratios "
+          f"({manifest.trial_count} batches, {workers} workers)")
+    print(format_table(manifest.summary))
+    return {"bound": bound_rows, "monte_carlo": manifest.summary}
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    main()
+    from repro.experiments import _cli_main
+
+    raise SystemExit(_cli_main(main))

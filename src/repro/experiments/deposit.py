@@ -21,6 +21,7 @@ from repro.core.analysis import theorem4_deposit_ratio_bound
 from repro.core.params import ProtocolParams
 from repro.core.protocol import FileInsurerProtocol
 from repro.crypto.prng import DeterministicPRNG
+from repro.runner.registry import ParamSpec, scenario
 from repro.sim.metrics import format_table
 
 __all__ = ["run_bound_sweep", "run_protocol_check", "main"]
@@ -115,8 +116,79 @@ def run_protocol_check(
     }
 
 
-def main() -> Dict[str, object]:
-    """Print the bound sweep and the end-to-end protocol check."""
+# ----------------------------------------------------------------------
+# Runner scenario: independent end-to-end compensation checks
+# ----------------------------------------------------------------------
+_SCENARIO_PARAMS = {
+    "checks": ParamSpec(3, "independent end-to-end compensation checks"),
+    "n_providers": ParamSpec(30, "providers (one sector each)"),
+    "files": ParamSpec(60, "files stored before the crash"),
+    "corrupt_fraction": ParamSpec(0.5, "fraction of sectors crashed"),
+    "deposit_ratio": ParamSpec(0.2, "deposit ratio prescribed for the scaled run"),
+    "k": ParamSpec(4, "replicas per file"),
+    "lambdas": ParamSpec((0.1, 0.25, 0.5, 0.75, 0.9), "bound-sweep lambdas"),
+}
+
+
+def _build_trials(params):
+    """One independent protocol deployment + crash per check."""
+    return [
+        {
+            "n_providers": params["n_providers"],
+            "files": params["files"],
+            "corrupt_fraction": params["corrupt_fraction"],
+            "deposit_ratio": params["deposit_ratio"],
+            "k": params["k"],
+        }
+        for _ in range(params["checks"])
+    ]
+
+
+def _aggregate(rows, params):
+    """Analytic bound sweep plus a verdict over the protocol checks."""
+    summary: List[Dict[str, object]] = []
+    for lam in params["lambdas"]:
+        bound = theorem4_deposit_ratio_bound(lam=lam, **PAPER_PARAMS)  # type: ignore[arg-type]
+        summary.append(
+            {"metric": f"gamma_deposit bound (lambda={lam})", "value": round(bound, 6)}
+        )
+    full = sum(1 for row in rows if row["full_compensation"])
+    summary.append(
+        {"metric": "protocol checks fully compensated", "value": f"{full}/{len(rows)}"}
+    )
+    summary.append(
+        {
+            "metric": "total shortfall events",
+            "value": sum(int(row["shortfalls"]) for row in rows),
+        }
+    )
+    return summary
+
+
+@scenario(
+    "deposit",
+    "Theorem 4: deposit-ratio bound plus end-to-end compensation checks",
+    build_trials=_build_trials,
+    params=_SCENARIO_PARAMS,
+    aggregate=_aggregate,
+    tags=("theorem4", "protocol"),
+)
+def _deposit_trial(task) -> Dict[str, object]:
+    """One full deploy/store/crash/compensate cycle on the state machine."""
+    return run_protocol_check(
+        n_providers=task["n_providers"],
+        files=task["files"],
+        corrupt_fraction=task["corrupt_fraction"],
+        deposit_ratio=task["deposit_ratio"],
+        k=task["k"],
+        seed=task["seed"],
+    )
+
+
+def main(workers: int = 1, seed: int = 1) -> Dict[str, object]:
+    """Print the bound sweep and the end-to-end protocol checks."""
+    from repro.runner.executor import run_scenario
+
     rows = run_bound_sweep(**PAPER_PARAMS)  # type: ignore[arg-type]
     print("\nTheorem 4 deposit-ratio bound at the paper's parameters")
     print(format_table(rows))
@@ -125,11 +197,14 @@ def main() -> Dict[str, object]:
         f"paper's example: lambda=0.5 -> gamma_deposit = {paper_point:.4f} "
         f"(paper reports {PAPER_DEPOSIT_RATIO})"
     )
-    check = run_protocol_check()
-    print("\nEnd-to-end compensation check on the protocol state machine")
-    print(format_table([check]))
-    return {"bound": rows, "protocol_check": check}
+    manifest = run_scenario("deposit", workers=workers, seed=seed)
+    print("\nEnd-to-end compensation checks on the protocol state machine")
+    print(format_table(manifest.rows))
+    print(format_table(manifest.summary))
+    return {"bound": rows, "protocol_checks": manifest.rows, "manifest": manifest}
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    main()
+    from repro.experiments import _cli_main
+
+    raise SystemExit(_cli_main(main))

@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.analysis import expected_lost_value_fraction, theorem3_loss_ratio_bound
+from repro.runner.aggregate import summarize
+from repro.runner.registry import ParamSpec, scenario
 from repro.sim.adversary import GreedyCapacityAdversary, RandomCapacityAdversary, evaluate_loss
 from repro.sim.metrics import format_table
 
@@ -162,8 +164,84 @@ def run_placement_contrast(
     }
 
 
-def main() -> Dict[str, object]:
+# ----------------------------------------------------------------------
+# Runner scenario: parallel Monte-Carlo over (lambda, adversary, trial)
+# ----------------------------------------------------------------------
+_SCENARIO_PARAMS = {
+    "lambdas": ParamSpec((0.3, 0.5, 0.7), "corruption fractions to sweep"),
+    "n_sectors": ParamSpec(2000, "sectors in the scaled network"),
+    "n_files": ParamSpec(2000, "files placed i.i.d. into the sectors"),
+    "k": ParamSpec(10, "replicas per file"),
+    "trials": ParamSpec(5, "Monte-Carlo repetitions per (lambda, adversary)"),
+    "cap_para": ParamSpec(10.0, "capacity parameter for the bound"),
+}
+
+
+def _build_trials(params):
+    """One independent trial per (lambda, adversary, repetition)."""
+    return [
+        {
+            "lam": lam,
+            "targeted": targeted,
+            "n_sectors": params["n_sectors"],
+            "n_files": params["n_files"],
+            "k": params["k"],
+        }
+        for lam in params["lambdas"]
+        for targeted in (False, True)
+        for _ in range(params["trials"])
+    ]
+
+
+def _aggregate(rows, params):
+    """Per-(lambda, adversary) loss statistics next to the Theorem 3 bound."""
+    summary = summarize(rows, group_by=("lambda", "adversary"), values=("loss",))
+    gamma_m_v = params["n_files"] / (params["cap_para"] * params["n_sectors"])
+    for row in summary:
+        lam = float(row["lambda"])  # type: ignore[arg-type]
+        bound = theorem3_loss_ratio_bound(
+            lam=lam,
+            k=params["k"],
+            ns=params["n_sectors"],
+            cap_para=params["cap_para"],
+            gamma_m_v=max(gamma_m_v, 1e-9),
+            security_c=1e-9,
+        )
+        row["expected (lambda^k)"] = f"{expected_lost_value_fraction(lam, params['k']):.2e}"
+        row["theorem3_bound"] = round(min(bound, 1.0), 4)
+        row["bound_holds"] = float(row["loss_max"]) <= min(bound, 1.0) + 1e-9
+    return summary
+
+
+@scenario(
+    "robustness",
+    "Theorem 3: Monte-Carlo loss ratios under random/targeted corruption vs the bound",
+    build_trials=_build_trials,
+    params=_SCENARIO_PARAMS,
+    aggregate=_aggregate,
+    tags=("theorem3", "monte-carlo"),
+)
+def _robustness_trial(task) -> Dict[str, object]:
+    """One Monte-Carlo placement + corruption at the task's parameters."""
+    loss = simulate_loss(
+        n_sectors=task["n_sectors"],
+        n_files=task["n_files"],
+        k=task["k"],
+        lam=task["lam"],
+        seed=task["seed"],
+        targeted=task["targeted"],
+    )
+    return {
+        "lambda": task["lam"],
+        "adversary": "targeted" if task["targeted"] else "random",
+        "loss": round(loss, 6),
+    }
+
+
+def main(workers: int = 1, seed: int = 0) -> Dict[str, object]:
     """Print the bound sweep, the Monte-Carlo check and the placement contrast."""
+    from repro.runner.executor import run_scenario
+
     bound_rows = run_bound_sweep(**PAPER_PARAMS)  # type: ignore[arg-type]
     print("\nTheorem 3 bound at the paper's parameters (k=20, Ns=1e6, capPara=1e3)")
     print(format_table(bound_rows))
@@ -173,15 +251,23 @@ def main() -> Dict[str, object]:
         "(paper: no more than 0.1% of stored value)"
     )
 
-    mc_rows = run_monte_carlo()
-    print("\nMonte-Carlo loss ratios at scaled parameters")
-    print(format_table(mc_rows))
+    manifest = run_scenario("robustness", workers=workers, seed=seed)
+    print("\nMonte-Carlo loss ratios at scaled parameters "
+          f"({manifest.trial_count} trials, {workers} workers)")
+    print(format_table(manifest.summary))
 
     contrast = run_placement_contrast()
     print("\nStorage randomness ablation (targeted adversary, lambda=0.5)")
     print(format_table([contrast]))
-    return {"bound": bound_rows, "monte_carlo": mc_rows, "contrast": contrast}
+    return {
+        "bound": bound_rows,
+        "monte_carlo": manifest.summary,
+        "contrast": contrast,
+        "manifest": manifest,
+    }
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    main()
+    from repro.experiments import _cli_main
+
+    raise SystemExit(_cli_main(main))

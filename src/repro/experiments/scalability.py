@@ -30,6 +30,7 @@ from repro.core.file_descriptor import FileState
 from repro.core.params import ProtocolParams
 from repro.core.protocol import FileInsurerProtocol, ProtocolError
 from repro.crypto.prng import DeterministicPRNG
+from repro.runner.registry import ParamSpec, scenario
 from repro.sim.metrics import format_table
 
 __all__ = ["synthetic_population", "run_bound_sweep", "run_fill_experiment", "main"]
@@ -147,16 +148,75 @@ def run_fill_experiment(
     }
 
 
-def main() -> Dict[str, object]:
-    """Print the Ns sweep and the deployment fill experiment."""
+# ----------------------------------------------------------------------
+# Runner scenario: fill-until-failure at several network sizes
+# ----------------------------------------------------------------------
+_SCENARIO_PARAMS = {
+    "providers": ParamSpec((10, 20), "network sizes for the fill experiment"),
+    "k": ParamSpec(3, "replicas per file"),
+    "file_size_fraction": ParamSpec(0.02, "file size as a fraction of minCapacity"),
+}
+
+
+def _build_trials(params):
+    """One fill-until-failure deployment per network size."""
+    return [
+        {
+            "n_providers": int(n_providers),
+            "k": params["k"],
+            "file_size_fraction": params["file_size_fraction"],
+        }
+        for n_providers in params["providers"]
+    ]
+
+
+def _aggregate(rows, params):
+    """Verdict over the fills: every deployment stayed within Theorem 1."""
+    return [
+        {
+            "metric": "deployments within Theorem 1 bound",
+            "value": f"{sum(1 for row in rows if row['within_bound'])}/{len(rows)}",
+        },
+        {
+            "metric": "max replica fill fraction",
+            "value": max(float(row["replica_fill_fraction"]) for row in rows),
+        },
+    ]
+
+
+@scenario(
+    "scalability",
+    "Theorem 1: fill a deployment until File Add fails; compare with the bound",
+    build_trials=_build_trials,
+    params=_SCENARIO_PARAMS,
+    aggregate=_aggregate,
+    tags=("theorem1", "protocol"),
+)
+def _scalability_trial(task) -> Dict[str, object]:
+    """Fill one deployment until allocation fails."""
+    return run_fill_experiment(
+        n_providers=task["n_providers"],
+        k=task["k"],
+        file_size_fraction=task["file_size_fraction"],
+        seed=task["seed"],
+    )
+
+
+def main(workers: int = 1, seed: int = 3) -> Dict[str, object]:
+    """Print the Ns sweep and the deployment fill experiments."""
+    from repro.runner.executor import run_scenario
+
     rows = run_bound_sweep()
     print("\nTheorem 1: maximum storable raw file size vs network capacity")
     print(format_table(rows))
-    fill = run_fill_experiment()
-    print("\nFill-until-failure check on the protocol state machine")
-    print(format_table([fill]))
-    return {"bound": rows, "fill": fill}
+    manifest = run_scenario("scalability", workers=workers, seed=seed)
+    print("\nFill-until-failure checks on the protocol state machine")
+    print(format_table(manifest.rows))
+    print(format_table(manifest.summary))
+    return {"bound": rows, "fill": manifest.rows, "manifest": manifest}
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    main()
+    from repro.experiments import _cli_main
+
+    raise SystemExit(_cli_main(main))

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.runner.registry import ParamSpec, scenario
 from repro.sim.metrics import format_table
 from repro.sim.placement import PlacementExperiment, PlacementResult
 from repro.sim.workload import FileSizeDistribution
@@ -84,42 +85,126 @@ def rows_to_table(results: Sequence[PlacementResult]) -> List[Dict[str, object]]
     return [table[key] for key in sorted(table)]
 
 
+# ----------------------------------------------------------------------
+# Runner scenario: one parallel trial per (mode, grid cell)
+# ----------------------------------------------------------------------
+_SCENARIO_PARAMS = {
+    "modes": ParamSpec(("reallocate", "refresh"), "Table III settings to run"),
+    "scale": ParamSpec("default", "'default' (scaled grid) or 'paper' (full grid)"),
+    "rounds": ParamSpec(100, "reallocation rounds per cell"),
+    "refresh_multiplier": ParamSpec(100, "refreshes per backup in refresh mode"),
+    "max_ncp": ParamSpec(10**8, "drop grid cells with more than this many backups"),
+}
+
+
+def _build_trials(params):
+    """One independent trial per (mode, Ncp, Ns) grid cell."""
+    grid = [
+        (n_backups, n_sectors)
+        for n_backups, n_sectors in (
+            paper_grid() if params["scale"] == "paper" else default_grid()
+        )
+        if n_backups <= params["max_ncp"]
+    ]
+    return [
+        {
+            "mode": mode,
+            "ncp": n_backups,
+            "ns": n_sectors,
+            "rounds": params["rounds"],
+            "refresh_multiplier": params["refresh_multiplier"],
+        }
+        for mode in params["modes"]
+        for n_backups, n_sectors in grid
+    ]
+
+
+def _aggregate(rows, params):
+    """Per-mode observed maximum usage against the paper's threshold."""
+    summary: List[Dict[str, object]] = []
+    for mode in params["modes"]:
+        cell_maxima = [
+            float(row["cell_max_usage"]) for row in rows if row["mode"] == mode
+        ]
+        observed = max(cell_maxima) if cell_maxima else 0.0
+        summary.append(
+            {
+                "mode": mode,
+                "observed_max_usage": round(observed, 3),
+                "paper_max_usage": PAPER_MAX_USAGE,
+                "below_paper_max": observed < PAPER_MAX_USAGE,
+            }
+        )
+    return summary
+
+
+@scenario(
+    "table3",
+    "Table III: maximum sector capacity usage under reallocate/refresh placement",
+    build_trials=_build_trials,
+    params=_SCENARIO_PARAMS,
+    aggregate=_aggregate,
+    tags=("table3", "placement"),
+)
+def _table3_trial(task) -> Dict[str, object]:
+    """Run all five size distributions for one grid cell of one setting."""
+    experiment = PlacementExperiment(seed=task["seed"])
+    results = experiment.sweep(
+        grid=[(task["ncp"], task["ns"])],
+        mode=task["mode"],
+        rounds=task["rounds"],
+        refresh_multiplier=task["refresh_multiplier"],
+    )
+    row: Dict[str, object] = {"mode": task["mode"], "Ncp": task["ncp"], "Ns": task["ns"]}
+    for result in results:
+        row[result.distribution.paper_label] = round(result.max_usage, 3)
+    row["cell_max_usage"] = round(max(result.max_usage for result in results), 3)
+    return row
+
+
 def main(
     scale: str = "default",
     rounds: int = 100,
     refresh_multiplier: int = 100,
     seed: int = 0,
+    workers: int = 1,
 ) -> Dict[str, List[Dict[str, object]]]:
-    """Run both settings, print paper-style tables and return the rows."""
-    grid = paper_grid() if scale == "paper" else default_grid()
+    """Run both settings through the runner and print paper-style tables."""
+    from repro.runner.executor import run_scenario
+
+    manifest = run_scenario(
+        "table3",
+        overrides={
+            "scale": scale,
+            "rounds": rounds,
+            "refresh_multiplier": refresh_multiplier,
+        },
+        workers=workers,
+        seed=seed,
+    )
     output: Dict[str, List[Dict[str, object]]] = {}
     for mode, header in (
         ("reallocate", f"reallocate all file backups {rounds} times"),
         ("refresh", f"refresh the location of a file backup {refresh_multiplier}*Ncp times"),
     ):
-        results = run_table3(
-            mode=mode,
-            grid=grid,
-            rounds=rounds,
-            refresh_multiplier=refresh_multiplier,
-            seed=seed,
-        )
-        rows = rows_to_table(results)
+        rows = [
+            {key: value for key, value in row.items()
+             if key not in ("trial", "seed", "mode", "cell_max_usage")}
+            for row in manifest.rows
+            if row["mode"] == mode
+        ]
         output[mode] = rows
         print(f"\nTable III ({header}) -- maximum capacity usage of sectors")
         print(format_table(rows))
-        observed_max = max(
-            float(row[label])
-            for row in rows
-            for label in ("[1]", "[2]", "[3]", "[4]", "[5]")
-            if label in row
-        )
+    for row in manifest.summary:
         print(
-            f"observed maximum usage = {observed_max:.3f} "
-            f"(paper reports all values < {PAPER_MAX_USAGE})"
+            f"{row['mode']}: observed maximum usage = {row['observed_max_usage']} "
+            f"(paper reports all values < {row['paper_max_usage']})"
         )
     return output
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    main()
+    from repro.experiments import _cli_main
+
+    raise SystemExit(_cli_main(main))

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.comparison import ComparisonHarness, ProtocolProperties
+from repro.runner.registry import ParamSpec, scenario
 from repro.sim.metrics import format_table
 
 __all__ = ["run_table4", "paper_expectations", "main"]
@@ -70,42 +71,130 @@ def run_table4(
     return harness.run(protocols)
 
 
+# ----------------------------------------------------------------------
+# Runner scenario: one parallel trial per protocol
+# ----------------------------------------------------------------------
+#: Column name -> paper-expectation key for the Yes/No comparison.
+_FLAG_COLUMNS = {
+    "Capacity Scalability": "capacity_scalability",
+    "Preventing Sybil Attacks": "prevents_sybil_attacks",
+    "Provable Robustness": "provable_robustness",
+    "Compensation for File Loss": "compensation_for_loss",
+}
+
+_SCENARIO_PARAMS = {
+    "protocols": ParamSpec(
+        ("FileInsurer", "Filecoin", "Arweave", "Storj", "Sia"),
+        "protocols to evaluate (paper order)",
+    ),
+    "n_sectors": ParamSpec(200, "sectors per protocol deployment"),
+    "n_files": ParamSpec(500, "files in the shared workload"),
+    "corruption_fraction": ParamSpec(0.3, "fraction of sectors corrupted"),
+    "harness_seed": ParamSpec(
+        -1, "workload seed shared by every protocol (-1: use the run's root seed)"
+    ),
+}
+
+
+def _build_trials(params):
+    """One trial per protocol; the workload seed is shared across trials.
+
+    The harness seed is shared (not the derived per-trial seed) so every
+    protocol is scored on the *same* workload and attack, which is what
+    makes the Table IV comparison apples-to-apples.  By default it follows
+    the run's root seed; setting ``harness_seed`` pins it explicitly.
+    """
+    return [
+        {
+            "protocol": name,
+            "n_sectors": params["n_sectors"],
+            "n_files": params["n_files"],
+            "corruption_fraction": params["corruption_fraction"],
+            "harness_seed": params["harness_seed"],
+        }
+        for name in params["protocols"]
+    ]
+
+
+def _aggregate(rows, params):
+    """Match every protocol's Yes/No flags against the paper's Table IV."""
+    expected = paper_expectations()
+    summary: List[Dict[str, object]] = []
+    for row in rows:
+        protocol = str(row["Property"])
+        mismatched = [
+            column
+            for column, key in _FLAG_COLUMNS.items()
+            if (row[column] == "Yes") != expected[protocol][key]
+        ]
+        summary.append(
+            {
+                "protocol": protocol,
+                "matches_paper": not mismatched,
+                "mismatched_columns": ", ".join(mismatched) or "-",
+            }
+        )
+    return summary
+
+
+@scenario(
+    "table4",
+    "Table IV: DSN protocol comparison under shared workload and corruption",
+    build_trials=_build_trials,
+    params=_SCENARIO_PARAMS,
+    aggregate=_aggregate,
+    tags=("table4", "baselines"),
+)
+def _table4_trial(task) -> Dict[str, object]:
+    """Evaluate one protocol on the shared workload and adversary."""
+    harness_seed = task["harness_seed"]
+    if harness_seed < 0:
+        harness_seed = task["root_seed"]
+    harness = ComparisonHarness(
+        n_sectors=task["n_sectors"],
+        n_files=task["n_files"],
+        corruption_fraction=task["corruption_fraction"],
+        seed=harness_seed,
+    )
+    return harness.evaluate_protocol(task["protocol"]).as_row()
+
+
 def main(
     n_sectors: int = 200,
     n_files: int = 500,
     corruption_fraction: float = 0.3,
     seed: int = 0,
-) -> List[ProtocolProperties]:
-    """Run the comparison, print Table IV and the match against the paper."""
-    results = run_table4(
-        n_sectors=n_sectors,
-        n_files=n_files,
-        corruption_fraction=corruption_fraction,
+    workers: int = 1,
+):
+    """Run the comparison through the runner, print Table IV, return the manifest."""
+    from repro.runner.executor import run_scenario
+
+    manifest = run_scenario(
+        "table4",
+        overrides={
+            "n_sectors": n_sectors,
+            "n_files": n_files,
+            "corruption_fraction": corruption_fraction,
+        },
+        workers=workers,
         seed=seed,
     )
     print("\nTable IV -- comparison of DSN protocols "
           f"(corrupting {corruption_fraction:.0%} of sectors)")
-    print(format_table([result.as_row() for result in results]))
-
-    expected = paper_expectations()
-    mismatches = []
-    for result in results:
-        paper_row = expected[result.protocol]
-        ours = {
-            "capacity_scalability": result.capacity_scalability,
-            "prevents_sybil_attacks": result.prevents_sybil_attacks,
-            "provable_robustness": result.provable_robustness,
-            "compensation_for_loss": result.compensation_for_loss,
-        }
-        for key, value in paper_row.items():
-            if ours[key] != value:
-                mismatches.append((result.protocol, key, value, ours[key]))
-    if mismatches:
-        print("\nMISMATCHES vs paper Table IV:", mismatches)
+    print(format_table(
+        [{key: value for key, value in row.items() if key not in ("trial", "seed")}
+         for row in manifest.rows]
+    ))
+    mismatching = [row for row in manifest.summary if not row["matches_paper"]]
+    if mismatching:
+        print("\nMISMATCHES vs paper Table IV:")
+        print(format_table(mismatching))
     else:
         print("\nAll Yes/No entries match the paper's Table IV.")
-    return results
+    return manifest
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    main()
+    from repro.experiments import _cli_main
+
+    raise SystemExit(_cli_main(main))

@@ -1,0 +1,62 @@
+"""Parallel, config-driven experiment orchestration.
+
+The runner turns the ad-hoc drivers in :mod:`repro.experiments` into
+registered, parallelizable, resumable *scenarios*:
+
+* :mod:`repro.runner.registry` -- :class:`ScenarioSpec` plus a global
+  decorator-based registry mapping scenario names to trial functions,
+  parameter schemas and aggregators.
+* :mod:`repro.runner.executor` -- fans independent trials out over
+  ``multiprocessing`` (with a serial fallback) and derives per-trial child
+  seeds from one root seed, so parallel and serial runs produce
+  byte-identical per-trial rows.
+* :mod:`repro.runner.aggregate` -- streaming mean/stddev/confidence-interval
+  aggregation and the table formatting shared with :mod:`repro.sim.metrics`.
+* :mod:`repro.runner.results` -- JSON run-manifest persistence so runs are
+  cacheable and diffable.
+* :mod:`repro.runner.cli` -- the ``python -m repro list|run|bench`` front
+  door (also installed as the ``repro`` console script).
+
+Quick start::
+
+    from repro.runner import run_scenario
+
+    manifest = run_scenario("robustness", workers=4, seed=7)
+    print(manifest.summary)
+"""
+
+from repro.runner.aggregate import StreamingAggregator, format_table, summarize
+from repro.runner.executor import derive_trial_seed, run_scenario, run_trials
+from repro.runner.registry import (
+    DuplicateScenarioError,
+    ParamSpec,
+    ScenarioError,
+    ScenarioSpec,
+    UnknownScenarioError,
+    get_scenario,
+    list_scenarios,
+    load_builtin_scenarios,
+    register,
+    scenario,
+)
+from repro.runner.results import RunManifest
+
+__all__ = [
+    "DuplicateScenarioError",
+    "ParamSpec",
+    "RunManifest",
+    "ScenarioError",
+    "ScenarioSpec",
+    "StreamingAggregator",
+    "UnknownScenarioError",
+    "derive_trial_seed",
+    "format_table",
+    "get_scenario",
+    "list_scenarios",
+    "load_builtin_scenarios",
+    "register",
+    "run_scenario",
+    "run_trials",
+    "scenario",
+    "summarize",
+]

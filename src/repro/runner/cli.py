@@ -1,0 +1,196 @@
+"""Unified command-line front door: ``python -m repro list|run|bench``.
+
+* ``repro list`` -- registered scenarios, their descriptions and defaults.
+* ``repro run <scenario> [--workers N] [--seed S] [--out results.json]
+  [--set key=value ...]`` -- execute a scenario, print the per-trial and
+  summary tables, optionally persist the run manifest.
+* ``repro bench <scenario> [--workers N] ...`` -- time the same scenario
+  serially and with ``N`` workers, report the speedup, and verify that
+  both runs produced identical per-trial rows.
+
+Installed as the ``repro`` console script by ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner.aggregate import format_table
+from repro.runner.executor import default_workers, run_scenario
+from repro.runner.registry import (
+    ScenarioError,
+    get_scenario,
+    load_builtin_scenarios,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, str]:
+    overrides: Dict[str, str] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ScenarioError(f"--set expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        overrides[key.strip()] = value
+    return overrides
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FileInsurer reproduction: experiment orchestration CLI.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered scenarios")
+
+    for name, help_text in (
+        ("run", "run one scenario and print its report"),
+        ("bench", "time a scenario serially vs. in parallel"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("scenario", help="registered scenario name")
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker processes (default: 1 for run, CPU count for bench)",
+        )
+        sub.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+        sub.add_argument(
+            "--set",
+            dest="overrides",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="override a scenario parameter (repeatable)",
+        )
+        sub.add_argument(
+            "--out", default=None, help="write the run manifest to this JSON path"
+        )
+        if name == "run":
+            sub.add_argument(
+                "--quiet",
+                action="store_true",
+                help="print only the summary table, not per-trial rows",
+            )
+    return parser
+
+
+def _cmd_list() -> int:
+    specs = load_builtin_scenarios()
+    rows = [
+        {
+            "scenario": spec.name,
+            "params": ", ".join(
+                f"{key}={spec.params[key].default}" for key in sorted(spec.params)
+            ),
+            "description": spec.description,
+        }
+        for spec in specs
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _workers_or(args: argparse.Namespace, fallback: int) -> int:
+    workers = args.workers if args.workers is not None else fallback
+    if workers < 1:
+        raise ScenarioError("--workers must be >= 1")
+    return workers
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    load_builtin_scenarios()
+    overrides = _parse_overrides(args.overrides)
+    workers = _workers_or(args, 1)
+    manifest = run_scenario(
+        args.scenario, overrides=overrides, workers=workers, seed=args.seed
+    )
+    print(
+        f"scenario={manifest.scenario} seed={manifest.seed} "
+        f"workers={manifest.workers} trials={manifest.trial_count} "
+        f"wall={manifest.duration_seconds:.2f}s version={manifest.version}"
+    )
+    if not args.quiet:
+        print("\nper-trial rows")
+        print(format_table(manifest.rows))
+    if manifest.summary:
+        print("\nsummary")
+        print(format_table(manifest.summary))
+    if args.out:
+        path = manifest.save(args.out)
+        print(f"\nmanifest written to {path}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    load_builtin_scenarios()
+    overrides = _parse_overrides(args.overrides)
+    workers = _workers_or(args, default_workers())
+
+    timings: List[Dict[str, object]] = []
+    serial_start = time.perf_counter()
+    serial = run_scenario(args.scenario, overrides=overrides, workers=1, seed=args.seed)
+    serial_wall = time.perf_counter() - serial_start
+    timings.append(
+        {"mode": "serial", "workers": 1, "wall_seconds": round(serial_wall, 3)}
+    )
+
+    parallel = serial
+    parallel_wall = serial_wall
+    if workers > 1:
+        parallel_start = time.perf_counter()
+        parallel = run_scenario(
+            args.scenario, overrides=overrides, workers=workers, seed=args.seed
+        )
+        parallel_wall = time.perf_counter() - parallel_start
+        timings.append(
+            {
+                "mode": "parallel",
+                "workers": workers,
+                "wall_seconds": round(parallel_wall, 3),
+            }
+        )
+
+    identical = serial.trial_rows_equal(parallel)
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else float("inf")
+    print(f"bench scenario={args.scenario} trials={serial.trial_count} seed={args.seed}")
+    print(format_table(timings))
+    print(
+        f"speedup={speedup:.2f}x with {workers} workers; "
+        f"per-trial rows identical: {identical}"
+    )
+    if args.out:
+        parallel.save(args.out)
+        print(f"manifest written to {args.out}")
+    return 0 if identical else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+    except (ScenarioError, ValueError) as error:
+        # ValueError covers user-parameter problems surfaced below the
+        # registry (empty trial lists, bad worker counts).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

@@ -1,0 +1,218 @@
+"""Scenario registry: named, parameterised, parallelizable experiments.
+
+A *scenario* packages one paper experiment (or any future workload) as
+
+* a **parameter schema** -- named defaults with help text, from which the
+  CLI derives ``--set key=value`` coercion;
+* a **trial builder** -- expands resolved parameters into a list of
+  independent trial descriptions (dictionaries);
+* a **trial function** -- runs one trial given its description (the
+  executor injects ``seed`` and ``trial`` keys) and returns a plain row
+  dictionary;
+* an optional **aggregator** -- reduces the per-trial rows into summary
+  rows for the printed report and the run manifest.
+
+Trial functions must be importable module-level callables so they can be
+pickled by the multiprocessing executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "ParamSpec",
+    "ScenarioSpec",
+    "ScenarioError",
+    "UnknownScenarioError",
+    "DuplicateScenarioError",
+    "register",
+    "scenario",
+    "get_scenario",
+    "list_scenarios",
+    "load_builtin_scenarios",
+    "resolve_params",
+]
+
+TrialFn = Callable[[Mapping[str, object]], Mapping[str, object]]
+BuildTrialsFn = Callable[[Mapping[str, object]], Sequence[Mapping[str, object]]]
+AggregateFn = Callable[
+    [Sequence[Mapping[str, object]], Mapping[str, object]],
+    Sequence[Mapping[str, object]],
+]
+
+
+class ScenarioError(Exception):
+    """Base class for registry errors."""
+
+
+class UnknownScenarioError(ScenarioError, LookupError):
+    """Raised when looking up a scenario name that was never registered."""
+
+
+class DuplicateScenarioError(ScenarioError):
+    """Raised when registering a name that already exists (and replace=False)."""
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One scenario parameter: a default value plus help text.
+
+    The parameter's type is the type of its default; the CLI coerces
+    ``--set`` overrides to that type (comma-separated lists for tuple
+    defaults).
+    """
+
+    default: object
+    help: str = ""
+
+    @property
+    def type(self) -> type:
+        return type(self.default)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered experiment scenario."""
+
+    name: str
+    description: str
+    trial_fn: TrialFn
+    build_trials: BuildTrialsFn
+    params: Mapping[str, ParamSpec] = field(default_factory=dict)
+    aggregate: Optional[AggregateFn] = None
+    tags: Tuple[str, ...] = ()
+
+    def default_params(self) -> Dict[str, object]:
+        """The schema's defaults as a plain dict."""
+        return {name: spec.default for name, spec in self.params.items()}
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the global registry.
+
+    ``replace=True`` makes registration idempotent (used by modules that
+    register at import time and may be re-imported).
+    """
+    if not spec.name:
+        raise ScenarioError("scenario name must be non-empty")
+    if spec.name in _REGISTRY and not replace:
+        raise DuplicateScenarioError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def scenario(
+    name: str,
+    description: str,
+    build_trials: BuildTrialsFn,
+    params: Optional[Mapping[str, ParamSpec]] = None,
+    aggregate: Optional[AggregateFn] = None,
+    tags: Sequence[str] = (),
+    replace: bool = True,
+) -> Callable[[TrialFn], TrialFn]:
+    """Decorator registering the decorated function as a scenario's trial."""
+
+    def decorator(trial_fn: TrialFn) -> TrialFn:
+        register(
+            ScenarioSpec(
+                name=name,
+                description=description,
+                trial_fn=trial_fn,
+                build_trials=build_trials,
+                params=dict(params or {}),
+                aggregate=aggregate,
+                tags=tuple(tags),
+            ),
+            replace=replace,
+        )
+        return trial_fn
+
+    return decorator
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none registered)"
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; known scenarios: {known}"
+        ) from None
+
+
+def list_scenarios() -> List[ScenarioSpec]:
+    """All registered scenarios, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def load_builtin_scenarios() -> List[ScenarioSpec]:
+    """Import the experiment drivers so their scenarios self-register."""
+    import repro.experiments  # noqa: F401  (import populates the registry)
+
+    return list_scenarios()
+
+
+# ----------------------------------------------------------------------
+# Parameter resolution
+# ----------------------------------------------------------------------
+def _coerce_scalar(text: str, target: type) -> object:
+    if target is bool:
+        lowered = text.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"cannot parse {text!r} as a boolean")
+    if target is int:
+        return int(text, 0)
+    if target is float:
+        return float(text)
+    return text
+
+
+def coerce_value(text: str, spec: ParamSpec) -> object:
+    """Coerce a ``--set`` string to the parameter's type."""
+    default = spec.default
+    if isinstance(default, tuple):
+        element = type(default[0]) if default else float
+        parts = [part for part in text.split(",") if part.strip()]
+        return tuple(_coerce_scalar(part, element) for part in parts)
+    return _coerce_scalar(text, type(default))
+
+
+def resolve_params(
+    spec: ScenarioSpec, overrides: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """Merge overrides into the scenario's defaults, validating names.
+
+    String override values are coerced to the schema type; already-typed
+    values (from Python callers) are used as-is.
+    """
+    resolved = spec.default_params()
+    for key, value in dict(overrides or {}).items():
+        if key not in spec.params:
+            known = ", ".join(sorted(spec.params)) or "(no parameters)"
+            raise ScenarioError(
+                f"scenario {spec.name!r} has no parameter {key!r}; known: {known}"
+            )
+        if isinstance(value, str) and not isinstance(spec.params[key].default, str):
+            try:
+                value = coerce_value(value, spec.params[key])
+            except ValueError as error:
+                raise ScenarioError(
+                    f"invalid value {value!r} for parameter {key!r} of scenario "
+                    f"{spec.name!r}: {error}"
+                ) from None
+        resolved[key] = value
+    return resolved

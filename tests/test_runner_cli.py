@@ -1,0 +1,99 @@
+"""CLI tests for the ``python -m repro`` front door."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.cli import main
+
+
+class TestList:
+    def test_lists_all_builtin_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("collision", "deposit", "robustness", "scalability", "table3", "table4"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_writes_manifest(self, tmp_path, capsys):
+        out_path = tmp_path / "collision.json"
+        code = main(
+            [
+                "run",
+                "collision",
+                "--seed",
+                "3",
+                "--set",
+                "trials=8",
+                "--set",
+                "batches=2",
+                "--set",
+                "n_sectors=50",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        manifest = json.loads(out_path.read_text())
+        assert manifest["scenario"] == "collision"
+        assert manifest["seed"] == 3
+        # 4 ratios x 2 batches
+        assert len(manifest["rows"]) == 8
+        out = capsys.readouterr().out
+        assert "per-trial rows" in out
+        assert "summary" in out
+
+    def test_quiet_omits_trial_rows(self, capsys):
+        code = main(
+            ["run", "collision", "--quiet", "--set", "trials=4", "--set", "batches=1",
+             "--set", "n_sectors=40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-trial rows" not in out
+        assert "summary" in out
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert main(["run", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_override_syntax_is_an_error(self, capsys):
+        assert main(["run", "collision", "--set", "oops"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_unknown_parameter_is_an_error(self, capsys):
+        assert main(["run", "collision", "--set", "bogus=1"]) == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_uncoercible_value_is_an_error(self, capsys):
+        assert main(["run", "collision", "--set", "trials=abc"]) == 2
+        assert "invalid value 'abc'" in capsys.readouterr().err
+
+    def test_zero_workers_is_an_error(self, capsys):
+        assert main(["run", "collision", "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_reports_identical_rows(self, capsys):
+        code = main(
+            [
+                "bench",
+                "collision",
+                "--workers",
+                "2",
+                "--set",
+                "trials=8",
+                "--set",
+                "batches=2",
+                "--set",
+                "n_sectors=50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-trial rows identical: True" in out
+        assert "speedup=" in out
