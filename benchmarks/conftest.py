@@ -1,7 +1,8 @@
 """Shared configuration for the benchmark harness.
 
 Every benchmark regenerates one of the paper's evaluation artefacts (see
-the experiment index in DESIGN.md) at a scale that completes in seconds.
+the experiment index in ``docs/scenarios.md``) at a scale that completes
+in seconds.
 Benchmarks run the experiment exactly once per measurement round
 (``pedantic`` mode) because the quantities of interest are the experiment
 outputs themselves, not micro-timings; the printed summary after the run

@@ -15,6 +15,10 @@ The package is organised as:
   the Table IV comparison.
 * :mod:`repro.experiments` -- drivers regenerating every table and figure
   of the paper's evaluation.
+* :mod:`repro.scenarios` -- the dynamic workload pack (provider churn,
+  retrieval-market load, large-file segmentation sweeps).
+* :mod:`repro.runner` -- scenario registry, parallel trial executor, run
+  manifests, resume/diff, and the ``python -m repro`` CLI.
 
 Quick start::
 

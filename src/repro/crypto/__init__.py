@@ -21,7 +21,8 @@ pseudorandom transform and proofs are hash commitments.  The properties the
 protocol actually depends on -- replicas are provider-specific, proofs can
 only be produced from data that is really held, verification is cheap, and
 replicas can be re-derived from the raw file -- are all preserved.  See
-DESIGN.md for the substitution rationale.
+the :mod:`repro.crypto.porep` module docstring for the substitution
+rationale.
 """
 
 from repro.crypto.beacon import RandomBeacon

@@ -1,7 +1,8 @@
 """Experiment drivers regenerating the paper's tables and figures.
 
 Every table / figure / concrete example of the paper's evaluation has a
-driver module here (see the experiment index in DESIGN.md):
+driver module here (``docs/scenarios.md`` maps every registered scenario
+back to its paper artefact):
 
 * :mod:`repro.experiments.table3` -- Table III capacity-usage experiments
   (both the reallocate and refresh settings, all five distributions).
@@ -16,10 +17,15 @@ driver module here (see the experiment index in DESIGN.md):
 
 Each module exposes ``run_*`` functions returning plain row dictionaries
 and registers a *scenario* with :mod:`repro.runner`, so the preferred
-front door is the unified CLI::
+front door is the unified CLI (which also carries the dynamic workload
+pack in :mod:`repro.scenarios` -- ``churn``, ``retrieval_load``,
+``segmentation`` -- plus ``--resume`` for interrupted runs and ``repro
+diff`` for comparing saved manifests)::
 
     python -m repro list
     python -m repro run robustness --workers 4 --seed 7 --out results.json
+    python -m repro run robustness --resume results.json --out results.json
+    python -m repro diff results.json other.json
 
 ``python -m repro.experiments.<name>`` still works: every module's
 ``__main__`` guard delegates to the shared :func:`_cli_main`, which calls

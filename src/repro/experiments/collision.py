@@ -163,7 +163,11 @@ def _collision_trial(task) -> Dict[str, object]:
 
 
 def main(workers: int = 1, seed: int = 0) -> Dict[str, List[Dict[str, object]]]:
-    """Print the analytic sweep and the Monte-Carlo check."""
+    """Print the analytic sweep and the Monte-Carlo check.
+
+    The Monte-Carlo trials route through :func:`repro.runner.run_scenario`
+    (scenario ``collision``), so ``workers`` fans them out in parallel.
+    """
     from repro.runner.executor import run_scenario
 
     bound_rows = run_bound_sweep()

@@ -186,7 +186,11 @@ def _deposit_trial(task) -> Dict[str, object]:
 
 
 def main(workers: int = 1, seed: int = 1) -> Dict[str, object]:
-    """Print the bound sweep and the end-to-end protocol checks."""
+    """Print the bound sweep and the end-to-end protocol checks.
+
+    The protocol checks route through :func:`repro.runner.run_scenario`
+    (scenario ``deposit``), so ``workers`` fans them out in parallel.
+    """
     from repro.runner.executor import run_scenario
 
     rows = run_bound_sweep(**PAPER_PARAMS)  # type: ignore[arg-type]

@@ -239,7 +239,11 @@ def _robustness_trial(task) -> Dict[str, object]:
 
 
 def main(workers: int = 1, seed: int = 0) -> Dict[str, object]:
-    """Print the bound sweep, the Monte-Carlo check and the placement contrast."""
+    """Print the bound sweep, the Monte-Carlo check and the placement contrast.
+
+    The Monte-Carlo check routes through :func:`repro.runner.run_scenario`
+    (scenario ``robustness``), so ``workers`` fans trials out in parallel.
+    """
     from repro.runner.executor import run_scenario
 
     bound_rows = run_bound_sweep(**PAPER_PARAMS)  # type: ignore[arg-type]

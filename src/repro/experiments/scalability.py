@@ -203,7 +203,11 @@ def _scalability_trial(task) -> Dict[str, object]:
 
 
 def main(workers: int = 1, seed: int = 3) -> Dict[str, object]:
-    """Print the Ns sweep and the deployment fill experiments."""
+    """Print the Ns sweep and the deployment fill experiments.
+
+    The fill experiments route through :func:`repro.runner.run_scenario`
+    (scenario ``scalability``), so ``workers`` fans them out in parallel.
+    """
     from repro.runner.executor import run_scenario
 
     rows = run_bound_sweep()

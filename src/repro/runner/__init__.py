@@ -14,8 +14,14 @@ registered, parallelizable, resumable *scenarios*:
   aggregation and the table formatting shared with :mod:`repro.sim.metrics`.
 * :mod:`repro.runner.results` -- JSON run-manifest persistence so runs are
   cacheable and diffable.
-* :mod:`repro.runner.cli` -- the ``python -m repro list|run|bench`` front
-  door (also installed as the ``repro`` console script).
+* :mod:`repro.runner.diff` -- manifest comparison (provenance + per-metric
+  deltas with CI overlap), the engine behind ``repro diff``.
+* :mod:`repro.runner.cli` -- the ``python -m repro list|run|bench|diff``
+  front door (also installed as the ``repro`` console script).
+
+Interrupted runs resume: pass ``resume=`` (a prior manifest or its path)
+to :func:`run_scenario` -- or ``--resume`` on the CLI -- and only the
+trials missing from the manifest execute.
 
 Quick start::
 
@@ -26,7 +32,14 @@ Quick start::
 """
 
 from repro.runner.aggregate import StreamingAggregator, format_table, summarize
-from repro.runner.executor import derive_trial_seed, run_scenario, run_trials
+from repro.runner.diff import diff_manifests, format_diff
+from repro.runner.executor import (
+    ResumeError,
+    derive_trial_seed,
+    match_resume_rows,
+    run_scenario,
+    run_trials,
+)
 from repro.runner.registry import (
     DuplicateScenarioError,
     ParamSpec,
@@ -44,16 +57,20 @@ from repro.runner.results import RunManifest
 __all__ = [
     "DuplicateScenarioError",
     "ParamSpec",
+    "ResumeError",
     "RunManifest",
     "ScenarioError",
     "ScenarioSpec",
     "StreamingAggregator",
     "UnknownScenarioError",
     "derive_trial_seed",
+    "diff_manifests",
+    "format_diff",
     "format_table",
     "get_scenario",
     "list_scenarios",
     "load_builtin_scenarios",
+    "match_resume_rows",
     "register",
     "run_scenario",
     "run_trials",

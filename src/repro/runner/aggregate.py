@@ -16,7 +16,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.metrics import format_table
 
-__all__ = ["StreamingAggregator", "summarize", "format_table"]
+__all__ = ["StreamingAggregator", "summarize", "compact_summary", "format_table"]
 
 #: Two-sided 95% normal quantile used for the confidence half-width.
 _Z95 = 1.959963984540054
@@ -151,3 +151,28 @@ def summarize(
                 summary[stat] = number
         out.append(summary)
     return out
+
+
+#: Statistic suffixes :func:`summarize` appends to each value column.
+_SUMMARY_STATS = ("n", "mean", "stddev", "ci95", "min", "max")
+
+
+def compact_summary(
+    rows: Sequence[Mapping[str, object]],
+    keep: Sequence[str] = ("n", "mean", "ci95"),
+) -> List[Dict[str, object]]:
+    """Drop :func:`summarize` statistic columns whose suffix is not in ``keep``.
+
+    Scenarios with many value columns use this to keep printed summary
+    tables readable; keeping ``mean`` and ``ci95`` preserves everything
+    ``repro diff`` needs for delta and CI-overlap reporting.
+    """
+    drop = tuple(f"_{stat}" for stat in _SUMMARY_STATS if stat not in keep)
+    return [
+        {
+            key: value
+            for key, value in row.items()
+            if not any(key.endswith(suffix) for suffix in drop)
+        }
+        for row in rows
+    ]

@@ -1,12 +1,16 @@
-"""Unified command-line front door: ``python -m repro list|run|bench``.
+"""Unified command-line front door: ``python -m repro list|run|bench|diff``.
 
 * ``repro list`` -- registered scenarios, their descriptions and defaults.
 * ``repro run <scenario> [--workers N] [--seed S] [--out results.json]
-  [--set key=value ...]`` -- execute a scenario, print the per-trial and
-  summary tables, optionally persist the run manifest.
+  [--set key=value ...] [--resume manifest.json]`` -- execute a scenario,
+  print the per-trial and summary tables, optionally persist the run
+  manifest; ``--resume`` skips trials already present in a prior manifest
+  of the same (scenario, params, seed).
 * ``repro bench <scenario> [--workers N] ...`` -- time the same scenario
   serially and with ``N`` workers, report the speedup, and verify that
   both runs produced identical per-trial rows.
+* ``repro diff <a.json> <b.json>`` -- compare two run manifests: seed and
+  parameter provenance plus per-metric deltas with CI-overlap verdicts.
 
 Installed as the ``repro`` console script by ``pyproject.toml``.
 """
@@ -28,6 +32,18 @@ from repro.runner.registry import (
 
 __all__ = ["main", "build_parser"]
 
+_EPILOG = """\
+registered scenarios (python -m repro list for parameters):
+  paper experiments:  collision, deposit, robustness, scalability, table3, table4
+  workload pack:      churn, retrieval_load, segmentation
+
+examples:
+  repro run robustness --workers 4 --seed 7 --out runs/robust.json
+  repro run churn --set cycles=12 --set crash_rate=0.2 --out runs/churn.json
+  repro run churn --resume runs/churn.json --out runs/churn.json
+  repro diff runs/a.json runs/b.json
+"""
+
 
 def _parse_overrides(pairs: Sequence[str]) -> Dict[str, str]:
     overrides: Dict[str, str] = {}
@@ -44,6 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FileInsurer reproduction: experiment orchestration CLI.",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -79,6 +97,27 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="print only the summary table, not per-trial rows",
             )
+            sub.add_argument(
+                "--resume",
+                default=None,
+                metavar="MANIFEST",
+                help=(
+                    "prior manifest of the same (scenario, params, seed); "
+                    "trials already present are skipped"
+                ),
+            )
+
+    diff = commands.add_parser(
+        "diff", help="compare two run manifests (provenance + metric deltas)"
+    )
+    diff.add_argument("manifest_a", help="baseline run manifest (JSON)")
+    diff.add_argument("manifest_b", help="comparison run manifest (JSON)")
+    diff.add_argument(
+        "--metrics",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="restrict the delta table to these metric names",
+    )
     return parser
 
 
@@ -106,11 +145,25 @@ def _workers_or(args: argparse.Namespace, fallback: int) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.runner.results import RunManifest
+
     load_builtin_scenarios()
     overrides = _parse_overrides(args.overrides)
     workers = _workers_or(args, 1)
+    resume = None
+    if args.resume:
+        try:
+            resume = RunManifest.load(args.resume)
+        except (OSError, ValueError) as error:
+            raise ScenarioError(
+                f"cannot load resume manifest {args.resume!r}: {error}"
+            ) from None
     manifest = run_scenario(
-        args.scenario, overrides=overrides, workers=workers, seed=args.seed
+        args.scenario,
+        overrides=overrides,
+        workers=workers,
+        seed=args.seed,
+        resume=resume,
     )
     print(
         f"scenario={manifest.scenario} seed={manifest.seed} "
@@ -172,6 +225,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.runner.diff import diff_manifests, format_diff
+    from repro.runner.results import RunManifest
+
+    try:
+        manifest_a = RunManifest.load(args.manifest_a)
+        manifest_b = RunManifest.load(args.manifest_b)
+    except (OSError, ValueError) as error:
+        raise ScenarioError(f"cannot load manifest: {error}") from None
+    metrics = (
+        [name.strip() for name in args.metrics.split(",") if name.strip()]
+        if args.metrics
+        else None
+    )
+    diff = diff_manifests(manifest_a, manifest_b, metrics=metrics)
+    print(f"a: {args.manifest_a}\nb: {args.manifest_b}\n")
+    print(format_diff(diff))
+    return 0 if diff["comparable"] else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -183,6 +256,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
     except (ScenarioError, ValueError) as error:
         # ValueError covers user-parameter problems surfaced below the
         # registry (empty trial lists, bad worker counts).

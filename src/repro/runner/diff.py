@@ -1,0 +1,197 @@
+"""Manifest comparison: ``repro diff`` over two saved runs.
+
+Two runs of the same scenario differ in three ways worth reporting:
+
+* **provenance** -- scenario name, root seed, code version, worker count
+  and trial count (whether the runs are even comparable);
+* **parameters** -- the fully-resolved parameter dictionaries;
+* **metrics** -- per-group deltas of every numeric summary statistic, with
+  a 95%-confidence-interval overlap verdict wherever both runs carry
+  ``<metric>_mean`` / ``<metric>_ci95`` columns (the aggregators in
+  :mod:`repro.runner.aggregate` always emit both).
+
+Runs without a summary (scenarios registered with no aggregator) fall back
+to aggregating their per-trial rows on the fly, so ``repro diff`` works on
+any pair of manifests.  All functions operate on loaded
+:class:`~repro.runner.results.RunManifest` objects; the CLI wires them to
+JSON paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.runner.aggregate import StreamingAggregator
+from repro.runner.results import RunManifest, jsonify
+
+__all__ = ["diff_manifests", "format_diff"]
+
+#: Statistic suffixes produced by :func:`repro.runner.aggregate.summarize`.
+_STAT_SUFFIXES = ("_n", "_mean", "_stddev", "_ci95", "_min", "_max")
+
+#: Row keys injected by the executor, not scenario metrics.
+_ROW_BOOKKEEPING = ("trial", "seed", "root_seed")
+
+
+def _is_stat_column(name: str) -> bool:
+    return any(name.endswith(suffix) for suffix in _STAT_SUFFIXES)
+
+
+def _numeric(value: object) -> Optional[float]:
+    """The value as a float if it is a plain number (bools excluded)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _summary_rows(manifest: RunManifest) -> List[Dict[str, object]]:
+    """The manifest's summary, or a synthesised one from per-trial rows."""
+    if manifest.summary:
+        return [dict(row) for row in manifest.summary]
+    aggregators: Dict[str, StreamingAggregator] = {}
+    for row in manifest.rows:
+        for key, value in row.items():
+            if key in _ROW_BOOKKEEPING:
+                continue
+            number = _numeric(value)
+            if number is None:
+                continue
+            aggregators.setdefault(key, StreamingAggregator()).push(number)
+    synthesised: Dict[str, object] = {}
+    for key in sorted(aggregators):
+        synthesised.update(aggregators[key].as_row(prefix=key))
+    return [synthesised] if synthesised else []
+
+
+def _leading_keys(row: Mapping[str, object]) -> List[str]:
+    keys: List[str] = []
+    for key in row:
+        if _is_stat_column(key):
+            break
+        keys.append(key)
+    return keys
+
+
+def _group_columns(rows_a, rows_b) -> List[str]:
+    """Group-key columns shared by both summaries.
+
+    ``summarize`` emits group keys first and statistic columns after, so
+    only the *leading* non-statistic columns are keys -- trailing derived
+    columns (e.g. a per-group pass/fail flag an aggregator appends) must
+    not join the match key, or any group whose flag flipped between runs
+    would silently vanish from the delta table.
+    """
+    if not rows_a or not rows_b:
+        return []
+    leading_b = set(_leading_keys(rows_b[0]))
+    return [key for key in _leading_keys(rows_a[0]) if key in leading_b]
+
+
+def _metric_stems(rows_a, rows_b) -> List[str]:
+    """Metric names carrying a ``_mean`` column in both summaries."""
+    if not rows_a or not rows_b:
+        return []
+    stems_a = {key[: -len("_mean")] for key in rows_a[0] if key.endswith("_mean")}
+    stems_b = {key[: -len("_mean")] for key in rows_b[0] if key.endswith("_mean")}
+    return sorted(stems_a & stems_b)
+
+
+def diff_manifests(
+    a: RunManifest,
+    b: RunManifest,
+    metrics: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Structured comparison of two run manifests.
+
+    Returns a dictionary with ``provenance`` / ``params`` / ``metrics``
+    row lists (ready for :func:`~repro.runner.aggregate.format_table`),
+    plus ``comparable`` (same scenario) and ``rows_identical`` flags.
+    ``metrics`` restricts the metric table to the named stems.
+    """
+    provenance: List[Dict[str, object]] = []
+    for field in ("scenario", "seed", "version", "workers", "trial_count", "format"):
+        value_a = getattr(a, field)
+        value_b = getattr(b, field)
+        provenance.append(
+            {"field": field, "a": value_a, "b": value_b, "same": value_a == value_b}
+        )
+
+    params_a = jsonify(a.params)
+    params_b = jsonify(b.params)
+    params: List[Dict[str, object]] = []
+    for key in sorted(set(params_a) | set(params_b)):
+        value_a = params_a.get(key, "<absent>")
+        value_b = params_b.get(key, "<absent>")
+        if value_a != value_b:
+            params.append({"param": key, "a": value_a, "b": value_b})
+
+    rows_a = _summary_rows(a)
+    rows_b = _summary_rows(b)
+    group_columns = _group_columns(rows_a, rows_b)
+    stems = _metric_stems(rows_a, rows_b)
+    if metrics:
+        requested = set(metrics)
+        stems = [stem for stem in stems if stem in requested]
+
+    indexed_b: Dict[Tuple[object, ...], Mapping[str, object]] = {
+        tuple(row.get(column) for column in group_columns): row for row in rows_b
+    }
+    metric_rows: List[Dict[str, object]] = []
+    for row_a in rows_a:
+        key = tuple(row_a.get(column) for column in group_columns)
+        row_b = indexed_b.get(key)
+        if row_b is None:
+            continue
+        for stem in stems:
+            mean_a = _numeric(row_a.get(f"{stem}_mean"))
+            mean_b = _numeric(row_b.get(f"{stem}_mean"))
+            if mean_a is None or mean_b is None:
+                continue
+            entry: Dict[str, object] = dict(zip(group_columns, key))
+            entry["metric"] = stem
+            entry["a_mean"] = round(mean_a, 6)
+            entry["b_mean"] = round(mean_b, 6)
+            entry["delta"] = round(mean_b - mean_a, 6)
+            entry["delta_pct"] = (
+                round(100.0 * (mean_b - mean_a) / abs(mean_a), 2) if mean_a else ""
+            )
+            ci_a = _numeric(row_a.get(f"{stem}_ci95"))
+            ci_b = _numeric(row_b.get(f"{stem}_ci95"))
+            if ci_a is not None and ci_b is not None:
+                # Intervals [mean +/- ci] overlap <=> the means are within
+                # the sum of the half-widths of each other.
+                entry["ci_overlap"] = abs(mean_b - mean_a) <= ci_a + ci_b
+            metric_rows.append(entry)
+
+    return {
+        "comparable": a.scenario == b.scenario,
+        "rows_identical": a.trial_rows_equal(b),
+        "provenance": provenance,
+        "params": params,
+        "metrics": metric_rows,
+    }
+
+
+def format_diff(diff: Mapping[str, object]) -> str:
+    """Human-readable report for a :func:`diff_manifests` result."""
+    from repro.runner.aggregate import format_table
+
+    sections: List[str] = []
+    if not diff["comparable"]:
+        sections.append("WARNING: manifests are from different scenarios")
+    sections.append("provenance")
+    sections.append(format_table(diff["provenance"]))  # type: ignore[arg-type]
+    if diff["params"]:
+        sections.append("\nparameter differences")
+        sections.append(format_table(diff["params"]))  # type: ignore[arg-type]
+    else:
+        sections.append("\nparameters: identical")
+    if diff["metrics"]:
+        sections.append("\nmetric deltas (b - a)")
+        sections.append(format_table(diff["metrics"]))  # type: ignore[arg-type]
+    else:
+        sections.append("\nmetric deltas: none in common")
+    sections.append(
+        "\nper-trial rows identical: " + ("yes" if diff["rows_identical"] else "no")
+    )
+    return "\n".join(sections)

@@ -12,6 +12,13 @@ uses, never from worker identity or scheduling order.  Results are
 returned in trial order (``Pool.map`` preserves input order), so a run
 with ``--workers 4`` emits byte-identical per-trial rows to the same run
 with ``--workers 1``.
+
+The same determinism makes runs *resumable*: because a trial's identity is
+fully captured by ``(scenario, params, root seed, trial index)`` and its
+row records the derived child seed, an interrupted run's manifest can be
+handed back via ``resume=`` and only the missing trials execute -- the
+merged row set is byte-identical to an uninterrupted run's
+(:func:`match_resume_rows` enforces the provenance checks).
 """
 
 from __future__ import annotations
@@ -19,13 +26,31 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.crypto.prng import DeterministicPRNG
-from repro.runner.registry import ScenarioSpec, TrialFn, get_scenario, resolve_params
+from repro.runner.registry import (
+    ScenarioError,
+    ScenarioSpec,
+    TrialFn,
+    get_scenario,
+    resolve_params,
+)
 from repro.runner.results import RunManifest, jsonify
 
-__all__ = ["derive_trial_seed", "run_trials", "run_scenario", "default_workers"]
+__all__ = [
+    "derive_trial_seed",
+    "run_trials",
+    "run_scenario",
+    "default_workers",
+    "match_resume_rows",
+    "ResumeError",
+]
+
+
+class ResumeError(ScenarioError):
+    """A resume manifest does not match the run it is asked to continue."""
 
 
 def derive_trial_seed(root_seed: int, scenario_name: str, index: int) -> int:
@@ -54,17 +79,82 @@ def _execute_trial(payload: Tuple[TrialFn, Dict[str, object]]) -> Dict[str, obje
     return {"trial": task["trial"], "seed": task["seed"], **row}
 
 
+def match_resume_rows(
+    spec: ScenarioSpec,
+    trials: Sequence[Mapping[str, object]],
+    seed: int,
+    params: Mapping[str, object],
+    manifest: RunManifest,
+) -> Dict[int, Dict[str, object]]:
+    """Validate a resume manifest and return its rows keyed by trial index.
+
+    A cached row is only trusted when its provenance proves it belongs to
+    this exact run: same scenario, same fully-resolved parameters, same
+    root seed, a trial index within the current trial list, and a recorded
+    child seed equal to the one :func:`derive_trial_seed` derives for that
+    index.  Any mismatch raises :class:`ResumeError` rather than silently
+    mixing rows from a different run.
+    """
+    if manifest.scenario != spec.name:
+        raise ResumeError(
+            f"resume manifest is for scenario {manifest.scenario!r}, "
+            f"not {spec.name!r}"
+        )
+    if manifest.seed != seed:
+        raise ResumeError(
+            f"resume manifest used root seed {manifest.seed}, this run uses {seed}"
+        )
+    if jsonify(manifest.params) != jsonify(params):
+        raise ResumeError(
+            "resume manifest parameters do not match this run's resolved "
+            f"parameters: manifest={manifest.params!r} run={jsonify(params)!r}"
+        )
+    cached: Dict[int, Dict[str, object]] = {}
+    for row in manifest.rows:
+        if "trial" not in row or "seed" not in row:
+            raise ResumeError("resume manifest row is missing 'trial'/'seed' keys")
+        index = row["trial"]
+        if not isinstance(index, int) or not 0 <= index < len(trials):
+            raise ResumeError(
+                f"resume manifest row has trial index {index!r}, valid range is "
+                f"0..{len(trials) - 1}"
+            )
+        if index in cached:
+            raise ResumeError(f"resume manifest contains trial {index} twice")
+        expected = derive_trial_seed(seed, spec.name, index)
+        if row["seed"] != expected:
+            raise ResumeError(
+                f"resume manifest row for trial {index} records child seed "
+                f"{row['seed']!r}, expected {expected} -- manifest is corrupted "
+                "or from different code"
+            )
+        # Normalise key order to the executor's row layout so resumed rows
+        # serialise identically to freshly computed ones.
+        rest = {key: value for key, value in row.items() if key not in ("trial", "seed")}
+        cached[index] = {"trial": index, "seed": expected, **rest}
+    return cached
+
+
 def run_trials(
     spec: ScenarioSpec,
     trials: Sequence[Mapping[str, object]],
     workers: int = 1,
     seed: int = 0,
+    cached_rows: Optional[Mapping[int, Mapping[str, object]]] = None,
 ) -> List[Dict[str, object]]:
-    """Execute ``trials`` and return per-trial rows in trial order."""
+    """Execute ``trials`` and return per-trial rows in trial order.
+
+    ``cached_rows`` (trial index -> already-computed row, from
+    :func:`match_resume_rows`) short-circuits those trials; only the
+    missing ones execute, and the merged result keeps trial order.
+    """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    cached = dict(cached_rows or {})
     payloads: List[Tuple[TrialFn, Dict[str, object]]] = []
     for index, trial in enumerate(trials):
+        if index in cached:
+            continue
         task = dict(trial)
         task["trial"] = index
         task["seed"] = derive_trial_seed(seed, spec.name, index)
@@ -74,16 +164,22 @@ def run_trials(
         payloads.append((spec.trial_fn, task))
 
     if workers == 1 or len(payloads) <= 1:
-        return [_execute_trial(payload) for payload in payloads]
+        fresh = [_execute_trial(payload) for payload in payloads]
+    else:
+        # fork keeps already-imported scenario modules available in children;
+        # fall back to the platform default where fork is unavailable.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        with context.Pool(processes=min(workers, len(payloads))) as pool:
+            fresh = pool.map(_execute_trial, payloads)
 
-    # fork keeps already-imported scenario modules available in children;
-    # fall back to the platform default where fork is unavailable.
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    with context.Pool(processes=min(workers, len(payloads))) as pool:
-        return pool.map(_execute_trial, payloads)
+    if not cached:
+        return fresh
+    merged: Dict[int, Dict[str, object]] = {row["trial"]: row for row in fresh}  # type: ignore[misc]
+    merged.update({index: dict(row) for index, row in cached.items()})
+    return [merged[index] for index in sorted(merged)]
 
 
 def run_scenario(
@@ -91,8 +187,15 @@ def run_scenario(
     overrides: Optional[Mapping[str, object]] = None,
     workers: int = 1,
     seed: int = 0,
+    resume: Optional[Union[str, Path, RunManifest]] = None,
 ) -> RunManifest:
-    """Resolve, execute and aggregate one scenario; return its manifest."""
+    """Resolve, execute and aggregate one scenario; return its manifest.
+
+    ``resume`` accepts a prior (possibly partial) manifest -- or a path to
+    one -- for the same (scenario, params, seed); trials whose rows it
+    already contains are skipped and the merged row set is byte-identical
+    to an uninterrupted run's.
+    """
     spec = (
         name_or_spec
         if isinstance(name_or_spec, ScenarioSpec)
@@ -103,8 +206,13 @@ def run_scenario(
     if not trials:
         raise ValueError(f"scenario {spec.name!r} built an empty trial list")
 
+    cached_rows: Optional[Dict[int, Dict[str, object]]] = None
+    if resume is not None:
+        prior = resume if isinstance(resume, RunManifest) else RunManifest.load(resume)
+        cached_rows = match_resume_rows(spec, trials, seed, params, prior)
+
     started = time.time()
-    rows = run_trials(spec, trials, workers=workers, seed=seed)
+    rows = run_trials(spec, trials, workers=workers, seed=seed, cached_rows=cached_rows)
     duration = time.time() - started
 
     summary: List[Dict[str, object]] = []

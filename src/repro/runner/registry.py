@@ -157,8 +157,13 @@ def unregister(name: str) -> None:
 
 
 def load_builtin_scenarios() -> List[ScenarioSpec]:
-    """Import the experiment drivers so their scenarios self-register."""
+    """Import the built-in scenario providers so they self-register.
+
+    Covers both the paper-experiment drivers (:mod:`repro.experiments`) and
+    the dynamic workload pack (:mod:`repro.scenarios`).
+    """
     import repro.experiments  # noqa: F401  (import populates the registry)
+    import repro.scenarios  # noqa: F401  (churn / retrieval_load / segmentation)
 
     return list_scenarios()
 

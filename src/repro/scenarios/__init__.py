@@ -1,0 +1,29 @@
+"""Workload pack: dynamic scenarios beyond the paper's six experiments.
+
+The modules here register additional :mod:`repro.runner` scenarios that
+exercise the end-to-end deployment (:class:`repro.sim.scenario.DSNScenario`)
+and the IPFS substrate under workloads the paper's evaluation only touches
+implicitly:
+
+* :mod:`repro.scenarios.churn` -- the ``churn`` scenario: continuous
+  provider join / graceful-leave / crash over simulated proof cycles, with
+  refresh-loop recovery metrics (Section V robustness, made dynamic).
+* :mod:`repro.scenarios.retrieval` -- the ``retrieval_load`` scenario: a
+  read-heavy Retrieval-Market request stream over
+  :mod:`repro.storage.bitswap` / :mod:`repro.storage.dht`, measuring
+  latency and misses against the protocol's ``DelayPerSize`` transfer
+  bound (Sections III-E, VI-F).
+* :mod:`repro.scenarios.segmentation` -- the ``segmentation`` scenario: a
+  grid over the file-size / sector-capacity ratio and Reed-Solomon
+  ``(k, n)`` geometry via :class:`repro.core.large_files.LargeFileCodec`,
+  measuring allocation-failure rates and compensation coverage
+  (Section VI-C).
+
+Importing this package registers all three scenarios;
+:func:`repro.runner.load_builtin_scenarios` does so automatically, making
+them first-class citizens of ``python -m repro list|run|bench|diff``.
+"""
+
+from repro.scenarios import churn, retrieval, segmentation
+
+__all__ = ["churn", "retrieval", "segmentation"]

@@ -71,7 +71,7 @@ class DSNScenario:
             params=params,
             ledger=self.ledger,
             prng=DeterministicPRNG.from_int(self.config.seed, domain="scenario-protocol"),
-            health_oracle=self._sector_is_healthy,
+            health_oracle=self.sector_is_healthy,
             auto_prove=True,
         )
         self.providers: Dict[str, StorageProvider] = {}
@@ -133,7 +133,8 @@ class DSNScenario:
     # ------------------------------------------------------------------
     # Health oracle used by the protocol's automatic proof crediting
     # ------------------------------------------------------------------
-    def _sector_is_healthy(self, sector_id: str) -> bool:
+    def sector_is_healthy(self, sector_id: str) -> bool:
+        """True if the sector's provider exists and its disk is intact."""
         entry = self.sector_map.get(sector_id)
         if entry is None:
             return False

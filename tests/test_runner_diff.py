@@ -1,0 +1,174 @@
+"""Tests for manifest comparison (``repro diff``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.diff import diff_manifests, format_diff
+from repro.runner.results import RunManifest
+
+
+def _manifest(scenario="demo", seed=1, params=None, rows=None, summary=None, **kwargs):
+    return RunManifest(
+        scenario=scenario,
+        params=params if params is not None else {"n": 2},
+        seed=seed,
+        workers=1,
+        trial_count=len(rows or []),
+        duration_seconds=0.1,
+        rows=rows or [],
+        summary=summary or [],
+        version="test",
+        created_unix=0.0,
+        **kwargs,
+    )
+
+
+def _summary_row(group, mean, ci):
+    return {"group": group, "loss_mean": mean, "loss_ci95": ci, "loss_n": 5}
+
+
+class TestDiffManifests:
+    def test_provenance_flags_differences(self):
+        diff = diff_manifests(_manifest(seed=1), _manifest(seed=2))
+        by_field = {row["field"]: row for row in diff["provenance"]}
+        assert by_field["seed"]["same"] is False
+        assert by_field["scenario"]["same"] is True
+        assert diff["comparable"] is True
+
+    def test_different_scenarios_not_comparable(self):
+        diff = diff_manifests(_manifest(scenario="a"), _manifest(scenario="b"))
+        assert diff["comparable"] is False
+
+    def test_param_differences_listed(self):
+        diff = diff_manifests(
+            _manifest(params={"n": 2, "only_a": 1}),
+            _manifest(params={"n": 3, "only_b": 4}),
+        )
+        by_param = {row["param"]: row for row in diff["params"]}
+        assert by_param["n"] == {"param": "n", "a": 2, "b": 3}
+        assert by_param["only_a"]["b"] == "<absent>"
+        assert by_param["only_b"]["a"] == "<absent>"
+
+    def test_identical_params_produce_empty_list(self):
+        assert diff_manifests(_manifest(), _manifest())["params"] == []
+
+    def test_metric_deltas_with_ci_overlap(self):
+        a = _manifest(summary=[_summary_row("x", 0.50, 0.05)])
+        b = _manifest(summary=[_summary_row("x", 0.52, 0.05)])
+        (row,) = diff_manifests(a, b)["metrics"]
+        assert row["metric"] == "loss"
+        assert row["delta"] == pytest.approx(0.02)
+        assert row["delta_pct"] == pytest.approx(4.0)
+        assert row["ci_overlap"] is True
+
+    def test_ci_overlap_false_when_intervals_disjoint(self):
+        a = _manifest(summary=[_summary_row("x", 0.50, 0.01)])
+        b = _manifest(summary=[_summary_row("x", 0.60, 0.01)])
+        (row,) = diff_manifests(a, b)["metrics"]
+        assert row["ci_overlap"] is False
+
+    def test_metrics_matched_by_group_key(self):
+        a = _manifest(summary=[_summary_row("x", 0.1, 0.0), _summary_row("y", 0.2, 0.0)])
+        b = _manifest(summary=[_summary_row("y", 0.25, 0.0)])
+        rows = diff_manifests(a, b)["metrics"]
+        assert [row["group"] for row in rows] == ["y"]
+        assert rows[0]["delta"] == pytest.approx(0.05)
+
+    def test_trailing_derived_columns_are_not_group_keys(self):
+        """A per-group flag an aggregator appends after the statistics must
+        not join the match key, or flipped groups vanish from the table."""
+        row_a = {"group": "x", "loss_mean": 0.1, "loss_ci95": 0.01, "covered": True}
+        row_b = {"group": "x", "loss_mean": 0.9, "loss_ci95": 0.01, "covered": False}
+        (delta,) = diff_manifests(
+            _manifest(summary=[row_a]), _manifest(summary=[row_b])
+        )["metrics"]
+        assert delta["delta"] == pytest.approx(0.8)
+
+    def test_metrics_filter(self):
+        summary = [
+            {"group": "x", "loss_mean": 0.1, "gain_mean": 0.2},
+        ]
+        diff = diff_manifests(
+            _manifest(summary=summary), _manifest(summary=summary), metrics=["gain"]
+        )
+        assert [row["metric"] for row in diff["metrics"]] == ["gain"]
+
+    def test_without_summaries_per_trial_rows_are_aggregated(self):
+        rows_a = [{"trial": 0, "seed": 1, "loss": 0.1}, {"trial": 1, "seed": 2, "loss": 0.3}]
+        rows_b = [{"trial": 0, "seed": 1, "loss": 0.5}, {"trial": 1, "seed": 2, "loss": 0.7}]
+        (row,) = diff_manifests(_manifest(rows=rows_a), _manifest(rows=rows_b))["metrics"]
+        assert row["metric"] == "loss"
+        assert row["a_mean"] == pytest.approx(0.2)
+        assert row["b_mean"] == pytest.approx(0.6)
+
+    def test_bookkeeping_and_non_numeric_columns_ignored(self):
+        rows = [{"trial": 0, "seed": 9, "label": "abc", "ok": True, "loss": 0.5}]
+        diff = diff_manifests(_manifest(rows=rows), _manifest(rows=rows))
+        assert [row["metric"] for row in diff["metrics"]] == ["loss"]
+
+    def test_rows_identical_flag(self):
+        rows = [{"trial": 0, "seed": 1, "loss": 0.25}]
+        assert diff_manifests(_manifest(rows=rows), _manifest(rows=rows))[
+            "rows_identical"
+        ]
+        assert not diff_manifests(
+            _manifest(rows=rows), _manifest(rows=[{"trial": 0, "seed": 1, "loss": 0.3}])
+        )["rows_identical"]
+
+
+class TestFormatDiff:
+    def test_sections_present(self):
+        a = _manifest(summary=[_summary_row("x", 0.5, 0.1)])
+        b = _manifest(summary=[_summary_row("x", 0.6, 0.1)])
+        text = format_diff(diff_manifests(a, b))
+        assert "provenance" in text
+        assert "metric deltas" in text
+        assert "per-trial rows identical" in text
+
+    def test_warns_on_incomparable(self):
+        text = format_diff(diff_manifests(_manifest(scenario="a"), _manifest(scenario="b")))
+        assert "different scenarios" in text
+
+
+class TestDiffCli:
+    def _write(self, path, manifest):
+        path.write_text(manifest.to_json())
+        return str(path)
+
+    def test_diff_command_prints_report(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        a = self._write(tmp_path / "a.json", _manifest(summary=[_summary_row("x", 0.5, 0.1)]))
+        b = self._write(tmp_path / "b.json", _manifest(summary=[_summary_row("x", 0.9, 0.1)]))
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "provenance" in out
+        assert "metric deltas" in out
+        assert "loss" in out
+
+    def test_diff_incomparable_exits_nonzero(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        a = self._write(tmp_path / "a.json", _manifest(scenario="a"))
+        b = self._write(tmp_path / "b.json", _manifest(scenario="b"))
+        assert main(["diff", a, b]) == 1
+        assert "different scenarios" in capsys.readouterr().out
+
+    def test_diff_missing_file_is_an_error(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        a = self._write(tmp_path / "a.json", _manifest())
+        assert main(["diff", a, str(tmp_path / "nope.json")]) == 2
+        assert "cannot load manifest" in capsys.readouterr().err
+
+    def test_diff_corrupt_json_is_an_error(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        a = self._write(tmp_path / "a.json", _manifest())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["diff", a, str(bad)]) == 2
+        assert "cannot load manifest" in capsys.readouterr().err

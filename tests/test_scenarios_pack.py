@@ -1,0 +1,179 @@
+"""Tests for the workload pack: churn, retrieval_load, segmentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.executor import derive_trial_seed, run_scenario
+from repro.runner.registry import get_scenario, load_builtin_scenarios, resolve_params
+from repro.scenarios.churn import run_churn_trial
+from repro.scenarios.retrieval import run_retrieval_trial
+from repro.scenarios.segmentation import run_segmentation_trial
+
+
+@pytest.fixture(autouse=True)
+def _load_registry():
+    load_builtin_scenarios()
+
+
+class TestRegistration:
+    def test_all_nine_scenarios_registered(self):
+        names = {spec.name for spec in load_builtin_scenarios()}
+        assert {
+            "table3",
+            "table4",
+            "collision",
+            "robustness",
+            "deposit",
+            "scalability",
+            "churn",
+            "retrieval_load",
+            "segmentation",
+        } <= names
+
+    def test_workload_tags(self):
+        for name in ("churn", "retrieval_load", "segmentation"):
+            assert "workload" in get_scenario(name).tags
+
+    def test_trial_grids(self):
+        churn = get_scenario("churn")
+        assert len(churn.build_trials(resolve_params(churn, {"trials": 4}))) == 4
+
+        retrieval = get_scenario("retrieval_load")
+        trials = retrieval.build_trials(
+            resolve_params(retrieval, {"rates": (1.0, 2.0), "trials": 3})
+        )
+        assert len(trials) == 6
+        assert {trial["rate_per_s"] for trial in trials} == {1.0, 2.0}
+
+        segmentation = get_scenario("segmentation")
+        trials = segmentation.build_trials(
+            resolve_params(
+                segmentation,
+                {"size_ratios": (0.5, 2.0), "limit_fractions": (0.25,), "trials": 2},
+            )
+        )
+        assert len(trials) == 4
+
+
+def _task(name, index=0, seed_root=0, **overrides):
+    """A trial task the way the executor would construct it."""
+    spec = get_scenario(name)
+    params = resolve_params(spec, overrides)
+    trial = dict(spec.build_trials(params)[index])
+    trial["trial"] = index
+    trial["seed"] = derive_trial_seed(seed_root, name, index)
+    trial["root_seed"] = seed_root
+    return trial
+
+
+TINY_CHURN = dict(providers=3, sectors_per_provider=1, clients=1, files=2, cycles=3, trials=1)
+TINY_RETRIEVAL = dict(
+    providers=4, clients=2, files=4, requests=10, rates=(4.0,), trials=1, mean_kib=8
+)
+TINY_SEG = dict(size_ratios=(2.0,), limit_fractions=(0.5,), n_files=6, trials=1)
+
+
+class TestChurn:
+    def test_trial_reports_recovery_metrics(self):
+        row = run_churn_trial(_task("churn", **TINY_CHURN))
+        assert row["files_stored"] == 2
+        assert 0.0 <= row["retrievable_fraction"] <= 1.0
+        assert 0.0 <= row["replica_health"] <= 1.0
+        assert row["providers"] >= row["healthy_providers"]
+        assert row["joins"] + row["leaves"] + row["crashes"] >= 0
+
+    def test_trial_is_deterministic_in_seed(self):
+        assert run_churn_trial(_task("churn", **TINY_CHURN)) == run_churn_trial(
+            _task("churn", **TINY_CHURN)
+        )
+
+    def test_no_churn_means_no_loss(self):
+        task = _task(
+            "churn", **dict(TINY_CHURN, join_rate=0.0, leave_rate=0.0, crash_rate=0.0)
+        )
+        row = run_churn_trial(task)
+        assert row["crashes"] == row["leaves"] == row["joins"] == 0
+        assert row["files_lost"] == 0
+        assert row["retrievable_fraction"] == 1.0
+        assert row["replica_health"] == 1.0
+
+    def test_scenario_end_to_end_with_summary(self):
+        manifest = run_scenario("churn", TINY_CHURN, workers=1, seed=1)
+        assert manifest.trial_count == 1
+        assert manifest.summary  # aggregator produced the mean row
+        assert "retrievable_fraction_mean" in manifest.summary[0]
+
+
+class TestRetrievalLoad:
+    def test_trial_serves_requests_and_measures_latency(self):
+        row = run_retrieval_trial(_task("retrieval_load", **TINY_RETRIEVAL))
+        assert row["requests"] == 10
+        assert row["served"] + row["unserved"] == 10
+        assert row["served"] > 0
+        assert row["latency_p95_s"] >= row["latency_p50_s"] >= 0
+        assert row["dht_hops_mean"] >= 1
+        assert row["bytes_served"] > 0
+
+    def test_trial_is_deterministic_in_seed(self):
+        task = _task("retrieval_load", **TINY_RETRIEVAL)
+        assert run_retrieval_trial(task) == run_retrieval_trial(dict(task))
+
+    def test_all_selfish_providers_serve_nothing(self):
+        task = _task(
+            "retrieval_load", **dict(TINY_RETRIEVAL, selfish_fraction=1.0)
+        )
+        row = run_retrieval_trial(task)
+        assert row["served"] == 0
+        assert row["unserved"] == row["requests"]
+        assert row["bytes_served"] == 0
+        # Unserved requests are deadline misses, not free passes.
+        assert row["miss_rate"] == 1.0
+
+    def test_higher_rate_does_not_lower_latency(self):
+        slow = run_retrieval_trial(
+            _task("retrieval_load", **dict(TINY_RETRIEVAL, rates=(0.5,), requests=20))
+        )
+        fast = run_retrieval_trial(
+            _task("retrieval_load", **dict(TINY_RETRIEVAL, rates=(50.0,), requests=20))
+        )
+        assert fast["latency_mean_s"] >= slow["latency_mean_s"]
+
+    def test_scenario_end_to_end_groups_by_rate(self):
+        manifest = run_scenario(
+            "retrieval_load",
+            dict(TINY_RETRIEVAL, rates=(2.0, 8.0)),
+            workers=1,
+            seed=3,
+        )
+        assert manifest.trial_count == 2
+        assert [row["rate_per_s"] for row in manifest.summary] == [2.0, 8.0]
+
+
+class TestSegmentation:
+    def test_trial_metrics(self):
+        row = run_segmentation_trial(_task("segmentation", **TINY_SEG))
+        assert row["roundtrip_ok"] is True
+        assert row["coverage_min"] >= 1.0
+        assert row["rs_n_mean"] >= row["rs_k_mean"] >= 1.0
+        assert 1.0 <= row["overhead"] <= 2.5
+        assert 0.0 <= row["alloc_fail_seg"] <= row["alloc_fail_raw"] <= 1.0
+
+    def test_trial_is_deterministic_in_seed(self):
+        task = _task("segmentation", **TINY_SEG)
+        assert run_segmentation_trial(task) == run_segmentation_trial(dict(task))
+
+    def test_oversized_files_fail_without_segmentation(self):
+        row = run_segmentation_trial(
+            _task("segmentation", **dict(TINY_SEG, size_ratios=(8.0,)))
+        )
+        # Whole files larger than a sector can never be placed raw.
+        assert row["alloc_fail_raw"] > 0.5
+        assert row["alloc_fail_seg"] < 0.1
+
+    def test_scenario_end_to_end_marks_coverage(self):
+        manifest = run_scenario("segmentation", TINY_SEG, workers=1, seed=2)
+        assert manifest.summary
+        assert all(row["covered"] for row in manifest.summary)
+        # The RS round-trip integrity check surfaces in the summary.
+        assert all(row["roundtrip_ok"] is True for row in manifest.summary)
