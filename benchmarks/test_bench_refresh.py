@@ -1,0 +1,87 @@
+"""Micro-benchmark: the ``PlacementExperiment.run_refresh`` hot path.
+
+The ROADMAP flags the refresh loop as the next optimisation target: the
+reallocate setting is fully vectorised, but each refresh in ``run_refresh``
+updates sector usage one move at a time in pure Python, and that loop
+dominates table3's wall time.  These benchmarks pin a baseline for the
+next perf PR, at a fixed workload so numbers are comparable across
+commits:
+
+* ``test_refresh_loop_throughput`` -- the pure refresh loop itself
+  (placement excluded from the measured region is impossible with the
+  public API, but placement is vectorised and ~1% of the time at this
+  shape), reported as refreshes/second via pytest-benchmark's ops metric;
+* ``test_refresh_vs_reallocate_cost_ratio`` -- the scalar-loop tax:
+  refresh wall time over reallocate wall time for the same number of
+  placement decisions.  A successful optimisation collapses this ratio
+  toward 1.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_refresh.py -q``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sim.placement import PlacementExperiment
+from repro.sim.workload import FileSizeDistribution
+
+#: Fixed workload shape: big enough that per-refresh cost dominates
+#: setup, small enough to finish a round in well under a second.
+N_BACKUPS = 20_000
+N_SECTORS = 200
+REFRESH_MULTIPLIER = 10  # => 200_000 refreshes per measured round
+DISTRIBUTION = FileSizeDistribution.EXPONENTIAL
+
+
+def test_refresh_loop_throughput(benchmark, record):
+    """Baseline refreshes/second of the scalar update loop."""
+
+    def run():
+        return PlacementExperiment(seed=0).run_refresh(
+            DISTRIBUTION,
+            N_BACKUPS,
+            N_SECTORS,
+            refresh_multiplier=REFRESH_MULTIPLIER,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    total_refreshes = REFRESH_MULTIPLIER * N_BACKUPS
+    assert result.rounds == total_refreshes
+    per_second = total_refreshes / benchmark.stats.stats.mean
+    record(
+        f"run_refresh throughput ({total_refreshes} refreshes)",
+        f"{per_second:,.0f} refreshes/s",
+        "baseline for the refresh-loop perf PR",
+    )
+
+
+def test_refresh_vs_reallocate_cost_ratio(record):
+    """How much slower one refreshed placement is than one vectorised one.
+
+    Both settings decide ``N_BACKUPS * REFRESH_MULTIPLIER`` placements;
+    reallocate does them in ``REFRESH_MULTIPLIER`` vectorised rounds,
+    refresh one by one.  The ratio is the headroom a vectorised refresh
+    loop could reclaim.
+    """
+    started = time.perf_counter()
+    PlacementExperiment(seed=0).run_reallocate(
+        DISTRIBUTION, N_BACKUPS, N_SECTORS, rounds=REFRESH_MULTIPLIER
+    )
+    reallocate_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    PlacementExperiment(seed=0).run_refresh(
+        DISTRIBUTION, N_BACKUPS, N_SECTORS, refresh_multiplier=REFRESH_MULTIPLIER
+    )
+    refresh_wall = time.perf_counter() - started
+
+    ratio = refresh_wall / reallocate_wall if reallocate_wall > 0 else float("inf")
+    # The scalar loop is known to be at least several times slower; a
+    # future vectorisation PR should drive this assertion's bound down.
+    assert ratio > 1.0
+    record(
+        "run_refresh / run_reallocate wall ratio (same placement count)",
+        f"{ratio:.1f}x",
+        "-> 1.0x after vectorising the refresh loop",
+    )

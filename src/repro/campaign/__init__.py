@@ -1,0 +1,70 @@
+"""Declarative multi-scenario sweep campaigns.
+
+The campaign layer sits above :mod:`repro.runner` and turns many
+hand-launched ``repro run`` invocations into one reproducible, cache-aware
+pipeline:
+
+* :mod:`repro.campaign.spec` -- :class:`CampaignSpec` loaded from TOML or
+  JSON: scenarios, fixed params, sweep axes (any registered parameter),
+  seeds.
+* :mod:`repro.campaign.plan` -- expands a spec into flat
+  :class:`CampaignCell` lists, validating every cell against the scenario
+  registry before anything runs.
+* :mod:`repro.campaign.store` -- a content-addressed
+  :class:`ResultStore` keyed by SHA-256 of (scenario, canonical params,
+  seed, code version); re-runs skip completed cells, corrupted entries
+  are quarantined, version drift invalidates.
+* :mod:`repro.campaign.orchestrator` -- executes every cell through one
+  shared worker pool (created lazily on the first cache miss, reused
+  across all scenarios).
+* :mod:`repro.campaign.report` -- cross-cell markdown/CSV tables, with a
+  marginal table per sweep axis.
+
+CLI: ``repro campaign run|status|report <spec>``.
+
+Quick start::
+
+    from repro.campaign import ResultStore, load_campaign, run_campaign
+
+    spec = load_campaign("examples/table3_campaign.toml")
+    result = run_campaign(spec, ResultStore("runs/campaign-store"), workers=4)
+    print(result.status_line())
+"""
+
+from repro.campaign.orchestrator import CampaignResult, CellOutcome, run_campaign
+from repro.campaign.plan import CampaignCell, plan_campaign
+from repro.campaign.report import (
+    axis_marginal_rows,
+    cell_rows,
+    render_csv,
+    render_markdown,
+    write_report,
+)
+from repro.campaign.spec import (
+    CampaignError,
+    CampaignSpec,
+    ScenarioEntry,
+    load_campaign,
+    parse_campaign,
+)
+from repro.campaign.store import ResultStore, cache_key
+
+__all__ = [
+    "CampaignCell",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellOutcome",
+    "ResultStore",
+    "ScenarioEntry",
+    "axis_marginal_rows",
+    "cache_key",
+    "cell_rows",
+    "load_campaign",
+    "parse_campaign",
+    "plan_campaign",
+    "render_csv",
+    "render_markdown",
+    "run_campaign",
+    "write_report",
+]

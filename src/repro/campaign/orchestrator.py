@@ -1,0 +1,131 @@
+"""Campaign execution: every cell, one worker pool, nothing recomputed.
+
+The orchestrator walks a planned campaign cell by cell, serves each cell
+from the :class:`~repro.campaign.store.ResultStore` when it can, and
+executes the rest through **one** shared multiprocessing pool -- created
+lazily on the first miss (a fully cached campaign forks nothing) and
+reused for every scenario and cell after it, closing the old
+one-pool-per-run gap.
+
+Determinism is unchanged from single runs: a cell's rows depend only on
+``(scenario, params, root seed)``, so a campaign executed through the
+shared pool, a campaign executed serially, and nine hand-launched
+``repro run`` commands all produce identical manifests -- which is what
+makes the store safe to share between them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.campaign.plan import CampaignCell, plan_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.runner.executor import create_worker_pool, run_scenario
+from repro.runner.results import RunManifest
+
+__all__ = ["CellOutcome", "CampaignResult", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One cell's fate: served from the store, or freshly executed."""
+
+    cell: CampaignCell
+    key: str
+    cached: bool
+    manifest: RunManifest
+
+    @property
+    def trials_executed(self) -> int:
+        return 0 if self.cached else self.manifest.trial_count
+
+
+@dataclass
+class CampaignResult:
+    """A completed campaign: per-cell outcomes plus campaign-level totals."""
+
+    spec: CampaignSpec
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    workers: int = 1
+    duration_seconds: float = 0.0
+    pools_created: int = 0
+
+    @property
+    def cells(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def trials_executed(self) -> int:
+        return sum(outcome.trials_executed for outcome in self.outcomes)
+
+    def status_line(self) -> str:
+        """The one-line summary printed (and grepped in CI) after a run."""
+        hits = self.cache_hits
+        total = self.cells
+        rate = (100.0 * hits / total) if total else 100.0
+        return (
+            f"campaign={self.spec.name} cells={total} cache_hits={hits}/{total} "
+            f"({rate:.0f}%) trials_executed={self.trials_executed} "
+            f"workers={self.workers} wall={self.duration_seconds:.2f}s"
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    workers: int = 1,
+    force: bool = False,
+    progress: Optional[Callable[[CellOutcome], None]] = None,
+) -> CampaignResult:
+    """Execute (or serve from cache) every cell of ``spec``.
+
+    ``force`` re-executes cells even when the store already holds them
+    (their entries are overwritten with the fresh results).  ``progress``
+    is invoked once per cell as its outcome settles, in plan order.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    cells = plan_campaign(spec)
+    result = CampaignResult(spec=spec, workers=workers)
+    started = time.time()
+    pool = None
+    try:
+        for cell in cells:
+            key = store.key_for(cell.scenario, cell.params, cell.seed)
+            manifest = None if force else store.get(cell.scenario, cell.params, cell.seed)
+            cached = manifest is not None
+            if manifest is None:
+                if pool is None and workers > 1:
+                    pool = create_worker_pool(workers)
+                    result.pools_created += 1
+                manifest = run_scenario(
+                    cell.scenario,
+                    overrides=cell.params,
+                    workers=workers,
+                    seed=cell.seed,
+                    pool=pool,
+                )
+                store.put(manifest)
+                # Round-trip through the serialised form so downstream
+                # consumers (the report) see exactly what a later cached
+                # run will load -- sorted-key JSON -- keeping first-run
+                # and fully-cached-run reports byte-identical.
+                manifest = RunManifest.from_dict(json.loads(manifest.to_json()))
+            outcome = CellOutcome(cell=cell, key=key, cached=cached, manifest=manifest)
+            result.outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+    result.duration_seconds = time.time() - started
+    return result

@@ -1,0 +1,102 @@
+"""Campaign planning: expand a spec into a flat list of runnable cells.
+
+A *cell* is the unit of caching and execution: one ``(scenario,
+fully-resolved params, root seed)`` triple.  Planning expands every
+entry's sweep axes to their cartesian product (axes vary in declaration
+order, last axis fastest), crosses the result with the entry's seeds, and
+resolves each sweep point against the scenario registry -- so an unknown
+scenario, an unknown parameter name or an uncoercible value fails the
+whole campaign *before* any trial runs.
+
+Because a cell's parameters are fully resolved (registry defaults merged
+with the spec's overrides), the cell is self-describing: the same triple
+that executes it also keys it in the
+:class:`~repro.campaign.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.campaign.spec import CampaignError, CampaignSpec, ScenarioEntry
+from repro.runner.registry import (
+    ScenarioError,
+    get_scenario,
+    load_builtin_scenarios,
+    resolve_params,
+)
+
+__all__ = ["CampaignCell", "plan_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One runnable (scenario, params, seed) cell of a campaign."""
+
+    scenario: str
+    params: Mapping[str, object]
+    seed: int
+    #: Just the swept axes' values at this point, for labels and reports.
+    sweep_point: Mapping[str, object]
+
+    @property
+    def label(self) -> str:
+        """A compact human-readable cell identifier."""
+        axes = ",".join(f"{key}={value!r}" for key, value in self.sweep_point.items())
+        point = f"[{axes}]" if axes else ""
+        return f"{self.scenario}{point}[seed={self.seed}]"
+
+
+def _expand_entry(entry: ScenarioEntry) -> List[CampaignCell]:
+    try:
+        spec = get_scenario(entry.scenario)
+    except ScenarioError as error:
+        raise CampaignError(str(error)) from None
+    axes = list(entry.sweep)
+    cells: List[CampaignCell] = []
+    for combo in itertools.product(*(entry.sweep[axis] for axis in axes)):
+        sweep_point: Dict[str, object] = dict(zip(axes, combo))
+        try:
+            resolved = resolve_params(spec, {**entry.params, **sweep_point})
+        except ScenarioError as error:
+            raise CampaignError(str(error)) from None
+        # Re-read swept values from the resolved dict so widenings
+        # (int -> float, list -> tuple) show canonically in labels,
+        # reports and the cache key.
+        sweep_point = {axis: resolved[axis] for axis in axes}
+        for seed in entry.seeds:
+            cells.append(
+                CampaignCell(
+                    scenario=entry.scenario,
+                    params=resolved,
+                    seed=seed,
+                    sweep_point=sweep_point,
+                )
+            )
+    return cells
+
+
+def plan_campaign(spec: CampaignSpec) -> List[CampaignCell]:
+    """Expand every entry of ``spec`` into cells, in declaration order.
+
+    Raises :class:`~repro.campaign.spec.CampaignError` if any entry names
+    an unregistered scenario or an invalid parameter, and on duplicate
+    cells (two entries expanding to the same scenario/params/seed), which
+    would silently collapse in the result store.
+    """
+    load_builtin_scenarios()
+    cells: List[CampaignCell] = []
+    seen: Dict[Tuple[str, str, int], str] = {}
+    for entry in spec.entries:
+        for cell in _expand_entry(entry):
+            identity = (cell.scenario, repr(sorted(cell.params.items())), cell.seed)
+            if identity in seen:
+                raise CampaignError(
+                    f"campaign {spec.name!r} contains duplicate cell {cell.label} "
+                    f"(also expanded as {seen[identity]})"
+                )
+            seen[identity] = cell.label
+            cells.append(cell)
+    return cells

@@ -1,0 +1,201 @@
+"""Campaign-level aggregation and reporting.
+
+Turns a campaign's per-cell manifests into cross-cell tables:
+
+* a **cell table** per scenario -- one row per (sweep point, seed,
+  summary-group), carrying the sweep axes alongside the scenario's own
+  summary statistics, so a whole figure grid reads as one table;
+* a **marginal table** per sweep axis -- every ``*_mean`` metric
+  aggregated (mean over cells, min, max) at each value of that axis,
+  collapsing the other axes and seeds.
+
+Rendered as a markdown report plus a flat CSV.  Both are functions of
+*content only* -- cell keys, parameters and summary statistics, never
+wall-clock times, worker counts or cache hit/miss -- so re-running a
+fully cached campaign reproduces them byte-for-byte, which CI asserts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.campaign.orchestrator import CellOutcome
+from repro.campaign.spec import CampaignSpec
+from repro.runner.aggregate import StreamingAggregator
+from repro.runner.diff import summary_rows
+from repro.runner.results import jsonify
+
+__all__ = [
+    "cell_rows",
+    "axis_marginal_rows",
+    "render_markdown",
+    "render_csv",
+    "write_report",
+]
+
+#: Columns identifying a cell, emitted ahead of scenario summary columns.
+_CELL_COLUMNS = ("scenario", "seed", "cell")
+
+
+def _cell_value(value: object) -> object:
+    """Sweep-point values as stable scalars for table cells."""
+    value = jsonify(value)
+    if isinstance(value, list):
+        return ",".join(str(item) for item in value)
+    return value
+
+
+def cell_rows(outcomes: Sequence[CellOutcome]) -> Dict[str, List[Dict[str, object]]]:
+    """Per-scenario cross-cell tables, in plan order.
+
+    Each cell contributes one output row per summary row of its manifest
+    (scenarios whose aggregator groups by e.g. mode or lambda keep those
+    groups), prefixed with the cell's identity and sweep-axis values.
+    """
+    tables: Dict[str, List[Dict[str, object]]] = {}
+    for outcome in outcomes:
+        cell = outcome.cell
+        prefix: Dict[str, object] = {
+            "scenario": cell.scenario,
+            "seed": cell.seed,
+            "cell": outcome.key[:12],
+        }
+        for axis, value in cell.sweep_point.items():
+            prefix[f"sweep:{axis}"] = _cell_value(value)
+        for summary in summary_rows(outcome.manifest) or [{}]:
+            row = dict(prefix)
+            for key, value in summary.items():
+                row[key] = _cell_value(value)
+            tables.setdefault(cell.scenario, []).append(row)
+    return tables
+
+
+def axis_marginal_rows(
+    rows: Sequence[Mapping[str, object]], axis: str
+) -> List[Dict[str, object]]:
+    """Aggregate every ``*_mean`` metric at each value of one sweep axis.
+
+    Collapses all other axes, seeds and summary groups: for each distinct
+    value of ``axis`` (first-seen order) and each metric, reports how many
+    cells contributed plus the mean/min/max of the per-cell means.
+    """
+    column = f"sweep:{axis}"
+    stats: Dict[Tuple[object, str], StreamingAggregator] = {}
+    order: List[Tuple[object, str]] = []
+    for row in rows:
+        if column not in row:
+            continue
+        value = row[column]
+        for key, cell_value in row.items():
+            if not key.endswith("_mean") or isinstance(cell_value, bool):
+                continue
+            if not isinstance(cell_value, (int, float)):
+                continue
+            metric = key[: -len("_mean")]
+            slot = (value, metric)
+            if slot not in stats:
+                stats[slot] = StreamingAggregator()
+                order.append(slot)
+            stats[slot].push(float(cell_value))
+    out: List[Dict[str, object]] = []
+    for value, metric in order:
+        aggregator = stats[(value, metric)]
+        out.append(
+            {
+                axis: value,
+                "metric": metric,
+                "cells": aggregator.count,
+                "mean": round(aggregator.mean, 6),
+                "min": round(aggregator.minimum, 6),
+                "max": round(aggregator.maximum, 6),
+            }
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _columns(rows: Sequence[Mapping[str, object]]) -> List[str]:
+    """Union of row keys, in first-seen order."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def _markdown_table(rows: Sequence[Mapping[str, object]]) -> str:
+    if not rows:
+        return "(no rows)\n"
+    columns = _columns(rows)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(key, "")) for key in columns) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def _sweep_axes(spec: CampaignSpec, scenario: str) -> List[str]:
+    axes: List[str] = []
+    for entry in spec.entries:
+        if entry.scenario == scenario:
+            for axis in entry.sweep:
+                if axis not in axes:
+                    axes.append(axis)
+    return axes
+
+
+def render_markdown(spec: CampaignSpec, outcomes: Sequence[CellOutcome]) -> str:
+    """The full campaign report as markdown text."""
+    tables = cell_rows(outcomes)
+    lines: List[str] = [f"# Campaign report: {spec.name}", ""]
+    if spec.description:
+        lines += [spec.description, ""]
+    lines += [
+        f"Scenarios: {len(tables)} -- cells: {len(outcomes)} -- "
+        f"store version: {outcomes[0].manifest.version if outcomes else 'n/a'}",
+        "",
+    ]
+    for scenario, rows in tables.items():
+        lines += [f"## {scenario}", "", _markdown_table(rows)]
+        for axis in _sweep_axes(spec, scenario):
+            marginal = axis_marginal_rows(rows, axis)
+            if marginal:
+                lines += [f"### {scenario} by {axis}", "", _markdown_table(marginal)]
+    return "\n".join(lines)
+
+
+def render_csv(outcomes: Sequence[CellOutcome]) -> str:
+    """All scenarios' cell tables as one flat CSV (union of columns)."""
+    tables = cell_rows(outcomes)
+    rows = [row for table in tables.values() for row in table]
+    columns = list(_CELL_COLUMNS) + [
+        key for key in _columns(rows) if key not in _CELL_COLUMNS
+    ]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="", lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_report(
+    spec: CampaignSpec,
+    outcomes: Sequence[CellOutcome],
+    out_dir: Union[str, Path],
+) -> List[Path]:
+    """Write ``report.md`` and ``summary.csv`` under ``out_dir``."""
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    markdown = target / "report.md"
+    markdown.write_text(render_markdown(spec, outcomes), encoding="utf-8")
+    table = target / "summary.csv"
+    table.write_text(render_csv(outcomes), encoding="utf-8")
+    return [markdown, table]

@@ -23,6 +23,12 @@ Interrupted runs resume: pass ``resume=`` (a prior manifest or its path)
 to :func:`run_scenario` -- or ``--resume`` on the CLI -- and only the
 trials missing from the manifest execute.
 
+Whole *grids* of runs -- many parameter cells per scenario, many
+scenarios per figure -- are orchestrated one level up by
+:mod:`repro.campaign` (``repro campaign run|status|report``), which
+shares one worker pool across every cell via ``run_scenario``'s
+``pool=`` and caches completed cells in a content-addressed store.
+
 Quick start::
 
     from repro.runner import run_scenario
@@ -32,9 +38,10 @@ Quick start::
 """
 
 from repro.runner.aggregate import StreamingAggregator, format_table, summarize
-from repro.runner.diff import diff_manifests, format_diff
+from repro.runner.diff import diff_manifests, format_diff, summary_rows
 from repro.runner.executor import (
     ResumeError,
+    create_worker_pool,
     derive_trial_seed,
     match_resume_rows,
     run_scenario,
@@ -63,6 +70,7 @@ __all__ = [
     "ScenarioSpec",
     "StreamingAggregator",
     "UnknownScenarioError",
+    "create_worker_pool",
     "derive_trial_seed",
     "diff_manifests",
     "format_diff",
@@ -76,4 +84,5 @@ __all__ = [
     "run_trials",
     "scenario",
     "summarize",
+    "summary_rows",
 ]

@@ -1,6 +1,9 @@
-"""Unified command-line front door: ``python -m repro list|run|bench|diff``.
+"""Unified command-line front door: ``python -m repro
+list|run|bench|diff|campaign``.
 
-* ``repro list`` -- registered scenarios, their descriptions and defaults.
+* ``repro list [--json]`` -- registered scenarios, their descriptions and
+  defaults; ``--json`` emits the machine-readable registry dump campaign
+  specs and external tooling validate against.
 * ``repro run <scenario> [--workers N] [--seed S] [--out results.json]
   [--set key=value ...] [--resume manifest.json]`` -- execute a scenario,
   print the per-trial and summary tables, optionally persist the run
@@ -10,7 +13,11 @@
   serially and with ``N`` workers, report the speedup, and verify that
   both runs produced identical per-trial rows.
 * ``repro diff <a.json> <b.json>`` -- compare two run manifests: seed and
-  parameter provenance plus per-metric deltas with CI-overlap verdicts.
+  parameter provenance plus per-metric deltas with CI-overlap verdicts;
+  exits non-zero when the manifests' metric sets do not even match.
+* ``repro campaign run|status|report <spec.toml>`` -- declarative
+  multi-scenario sweeps through one shared worker pool, backed by the
+  content-addressed result store (see :mod:`repro.campaign`).
 
 Installed as the ``repro`` console script by ``pyproject.toml``.
 """
@@ -42,6 +49,8 @@ examples:
   repro run churn --set cycles=12 --set crash_rate=0.2 --out runs/churn.json
   repro run churn --resume runs/churn.json --out runs/churn.json
   repro diff runs/a.json runs/b.json
+  repro campaign run examples/table3_campaign.toml --workers 4
+  repro campaign status examples/table3_campaign.toml
 """
 
 
@@ -65,7 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list registered scenarios")
+    list_cmd = commands.add_parser("list", help="list registered scenarios")
+    list_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry as JSON (name, description, tags, params "
+        "with defaults/types/help) for campaign specs and external tooling",
+    )
 
     for name, help_text in (
         ("run", "run one scenario and print its report"),
@@ -118,11 +133,75 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME[,NAME...]",
         help="restrict the delta table to these metric names",
     )
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="declarative multi-scenario sweeps with a shared worker pool "
+        "and a content-addressed result store",
+    )
+    verbs = campaign.add_subparsers(dest="verb", required=True)
+    for verb, help_text in (
+        ("run", "execute every cell of a campaign (cached cells are skipped)"),
+        ("status", "show per-cell cache state without executing anything"),
+        ("report", "regenerate the cross-cell report from cached results"),
+    ):
+        sub = verbs.add_parser(verb, help=help_text)
+        sub.add_argument("spec", help="campaign spec file (.toml or .json)")
+        sub.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help="result-store directory (default: the spec's 'store' entry, "
+            "else runs/campaign-store)",
+        )
+        if verb == "run":
+            sub.add_argument(
+                "--workers",
+                type=int,
+                default=None,
+                help="worker processes shared across all cells (default 1)",
+            )
+            sub.add_argument(
+                "--force",
+                action="store_true",
+                help="re-execute cells even when the store already holds them",
+            )
+        if verb in ("run", "report"):
+            sub.add_argument(
+                "--report-dir",
+                default=None,
+                metavar="DIR",
+                help="where to write report.md and summary.csv "
+                "(default: <store>/report)",
+            )
     return parser
 
 
-def _cmd_list() -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runner.results import jsonify
+
     specs = load_builtin_scenarios()
+    if args.json:
+        dump = [
+            {
+                "name": spec.name,
+                "description": spec.description,
+                "tags": list(spec.tags),
+                "params": {
+                    key: {
+                        "default": jsonify(param.default),
+                        "type": param.type.__name__,
+                        "help": param.help,
+                    }
+                    for key, param in sorted(spec.params.items())
+                },
+            }
+            for spec in specs
+        ]
+        print(json.dumps(dump, indent=2, sort_keys=True))
+        return 0
     rows = [
         {
             "scenario": spec.name,
@@ -242,7 +321,111 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     diff = diff_manifests(manifest_a, manifest_b, metrics=metrics)
     print(f"a: {args.manifest_a}\nb: {args.manifest_b}\n")
     print(format_diff(diff))
-    return 0 if diff["comparable"] else 1
+    metrics_ok = not (
+        diff["metrics_only_a"] or diff["metrics_only_b"] or diff["metrics_missing"]
+    )
+    return 0 if diff["comparable"] and metrics_ok else 1
+
+
+_DEFAULT_STORE = "runs/campaign-store"
+
+
+def _campaign_store(args: argparse.Namespace, spec):
+    from repro.campaign.store import ResultStore
+
+    return ResultStore(args.store or spec.store or _DEFAULT_STORE)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import load_campaign, run_campaign, write_report
+
+    spec = load_campaign(args.spec)
+    store = _campaign_store(args, spec)
+    workers = _workers_or(args, 1)
+
+    def progress(outcome) -> None:
+        state = "hit " if outcome.cached else "run "
+        print(
+            f"[{state}] {outcome.cell.label} trials={outcome.manifest.trial_count} "
+            f"key={outcome.key[:12]}"
+        )
+
+    result = run_campaign(
+        spec, store, workers=workers, force=args.force, progress=progress
+    )
+    print(f"\n{result.status_line()}")
+    report_dir = args.report_dir or str(store.root / "report")
+    for path in write_report(spec, result.outcomes, report_dir):
+        print(f"report written to {path}")
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import load_campaign, plan_campaign
+
+    spec = load_campaign(args.spec)
+    store = _campaign_store(args, spec)
+    cells = plan_campaign(spec)
+    hits = 0
+    for cell in cells:
+        cached = (cell.scenario, cell.params, cell.seed) in store
+        hits += cached
+        print(f"[{'hit ' if cached else 'miss'}] {cell.label} "
+              f"key={store.key_for(cell.scenario, cell.params, cell.seed)[:12]}")
+    stats = store.stats()
+    print(
+        f"\ncampaign={spec.name} cells={len(cells)} cache_hits={hits}/{len(cells)} "
+        f"store={store.root} (stored={stats['stored']}, "
+        f"quarantined={stats['quarantined']}) version={store.version}"
+    )
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import CellOutcome, load_campaign, plan_campaign, write_report
+
+    spec = load_campaign(args.spec)
+    store = _campaign_store(args, spec)
+    cells = plan_campaign(spec)
+    outcomes = []
+    missing = []
+    for cell in cells:
+        manifest = store.get(cell.scenario, cell.params, cell.seed, quarantine=False)
+        if manifest is None:
+            missing.append(cell.label)
+            continue
+        key = store.key_for(cell.scenario, cell.params, cell.seed)
+        outcomes.append(CellOutcome(cell=cell, key=key, cached=True, manifest=manifest))
+    if missing:
+        print(
+            f"error: {len(missing)}/{len(cells)} cells are not in the store; "
+            "run `repro campaign run` first:",
+            file=sys.stderr,
+        )
+        for label in missing:
+            print(f"  missing: {label}", file=sys.stderr)
+        return 1
+    report_dir = args.report_dir or str(store.root / "report")
+    for path in write_report(spec, outcomes, report_dir):
+        print(f"report written to {path}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    # CampaignError is caught here rather than in main() so the campaign
+    # package is only ever imported by campaign verbs -- every other
+    # subcommand keeps this file's lazy-import discipline.
+    from repro.campaign.spec import CampaignError
+
+    try:
+        if args.verb == "run":
+            return _cmd_campaign_run(args)
+        if args.verb == "status":
+            return _cmd_campaign_status(args)
+        return _cmd_campaign_report(args)
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -251,13 +434,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(list(argv) if argv is not None else None)
     try:
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "diff":
             return _cmd_diff(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
     except (ScenarioError, ValueError) as error:
         # ValueError covers user-parameter problems surfaced below the
         # registry (empty trial lists, bad worker counts).

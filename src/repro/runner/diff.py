@@ -24,7 +24,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.runner.aggregate import StreamingAggregator
 from repro.runner.results import RunManifest, jsonify
 
-__all__ = ["diff_manifests", "format_diff"]
+__all__ = ["diff_manifests", "format_diff", "summary_rows"]
 
 #: Statistic suffixes produced by :func:`repro.runner.aggregate.summarize`.
 _STAT_SUFFIXES = ("_n", "_mean", "_stddev", "_ci95", "_min", "_max")
@@ -44,8 +44,13 @@ def _numeric(value: object) -> Optional[float]:
     return float(value)
 
 
-def _summary_rows(manifest: RunManifest) -> List[Dict[str, object]]:
-    """The manifest's summary, or a synthesised one from per-trial rows."""
+def summary_rows(manifest: RunManifest) -> List[Dict[str, object]]:
+    """The manifest's summary, or a synthesised one from per-trial rows.
+
+    Scenarios registered without an aggregator still get a usable summary:
+    every numeric per-trial column is reduced to the standard statistics.
+    Shared by ``repro diff`` and the campaign report.
+    """
     if manifest.summary:
         return [dict(row) for row in manifest.summary]
     aggregators: Dict[str, StreamingAggregator] = {}
@@ -87,13 +92,11 @@ def _group_columns(rows_a, rows_b) -> List[str]:
     return [key for key in _leading_keys(rows_a[0]) if key in leading_b]
 
 
-def _metric_stems(rows_a, rows_b) -> List[str]:
-    """Metric names carrying a ``_mean`` column in both summaries."""
-    if not rows_a or not rows_b:
-        return []
-    stems_a = {key[: -len("_mean")] for key in rows_a[0] if key.endswith("_mean")}
-    stems_b = {key[: -len("_mean")] for key in rows_b[0] if key.endswith("_mean")}
-    return sorted(stems_a & stems_b)
+def _metric_stems(rows) -> set:
+    """Metric names carrying a ``_mean`` column in a summary."""
+    if not rows:
+        return set()
+    return {key[: -len("_mean")] for key in rows[0] if key.endswith("_mean")}
 
 
 def diff_manifests(
@@ -125,13 +128,26 @@ def diff_manifests(
         if value_a != value_b:
             params.append({"param": key, "a": value_a, "b": value_b})
 
-    rows_a = _summary_rows(a)
-    rows_b = _summary_rows(b)
+    rows_a = summary_rows(a)
+    rows_b = summary_rows(b)
     group_columns = _group_columns(rows_a, rows_b)
-    stems = _metric_stems(rows_a, rows_b)
+    stems_a = _metric_stems(rows_a)
+    stems_b = _metric_stems(rows_b)
+    stems = sorted(stems_a & stems_b)
+    only_a = sorted(stems_a - stems_b)
+    only_b = sorted(stems_b - stems_a)
+    missing = []
     if metrics:
+        # A --metrics filter scopes the whole comparison, including the
+        # mismatch check: metrics the user deliberately excluded must not
+        # fail the diff.  But a requested metric that exists in *neither*
+        # manifest is almost certainly a typo'd CI gate, not a vacuous
+        # pass.
         requested = set(metrics)
         stems = [stem for stem in stems if stem in requested]
+        only_a = [stem for stem in only_a if stem in requested]
+        only_b = [stem for stem in only_b if stem in requested]
+        missing = sorted(requested - stems_a - stems_b)
 
     indexed_b: Dict[Tuple[object, ...], Mapping[str, object]] = {
         tuple(row.get(column) for column in group_columns): row for row in rows_b
@@ -169,6 +185,12 @@ def diff_manifests(
         "provenance": provenance,
         "params": params,
         "metrics": metric_rows,
+        # Metrics present in exactly one manifest: a silent source of
+        # misreadings (a delta table that *looks* complete but dropped a
+        # metric).  Reported here and treated as a failure by the CLI.
+        "metrics_only_a": only_a,
+        "metrics_only_b": only_b,
+        "metrics_missing": missing,
     }
 
 
@@ -191,6 +213,23 @@ def format_diff(diff: Mapping[str, object]) -> str:
         sections.append(format_table(diff["metrics"]))  # type: ignore[arg-type]
     else:
         sections.append("\nmetric deltas: none in common")
+    missing = diff.get("metrics_missing") or []
+    if missing:
+        sections.append(
+            "\nERROR: requested metrics exist in neither manifest "
+            f"(typo in --metrics?): {', '.join(missing)}"
+        )
+    only_a = diff.get("metrics_only_a") or []
+    only_b = diff.get("metrics_only_b") or []
+    if only_a or only_b:
+        sections.append(
+            "\nERROR: metric sets differ -- these metrics exist in only one "
+            "manifest and have no delta row above:"
+        )
+        if only_a:
+            sections.append(f"  only in a: {', '.join(only_a)}")
+        if only_b:
+            sections.append(f"  only in b: {', '.join(only_b)}")
     sections.append(
         "\nper-trial rows identical: " + ("yes" if diff["rows_identical"] else "no")
     )

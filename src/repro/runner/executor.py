@@ -24,6 +24,7 @@ merged row set is byte-identical to an uninterrupted run's
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import os
 import time
 from pathlib import Path
@@ -41,6 +42,7 @@ from repro.runner.results import RunManifest, jsonify
 
 __all__ = [
     "derive_trial_seed",
+    "create_worker_pool",
     "run_trials",
     "run_scenario",
     "default_workers",
@@ -69,6 +71,24 @@ def derive_trial_seed(root_seed: int, scenario_name: str, index: int) -> int:
 def default_workers() -> int:
     """A sensible worker count for this machine (at least 1)."""
     return max(1, os.cpu_count() or 1)
+
+
+def create_worker_pool(workers: int) -> multiprocessing.pool.Pool:
+    """Create a worker pool suitable for :func:`run_trials`'s ``pool=``.
+
+    Uses the fork start method where available so already-imported scenario
+    modules (and thus the registry) are inherited by the children.  Callers
+    own the pool: one pool can serve many :func:`run_trials` /
+    :func:`run_scenario` calls (the campaign orchestrator shares one pool
+    across every cell of a sweep) and must close it when done.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    return context.Pool(processes=workers)
 
 
 def _execute_trial(payload: Tuple[TrialFn, Dict[str, object]]) -> Dict[str, object]:
@@ -141,12 +161,20 @@ def run_trials(
     workers: int = 1,
     seed: int = 0,
     cached_rows: Optional[Mapping[int, Mapping[str, object]]] = None,
+    pool: Optional[multiprocessing.pool.Pool] = None,
 ) -> List[Dict[str, object]]:
     """Execute ``trials`` and return per-trial rows in trial order.
 
     ``cached_rows`` (trial index -> already-computed row, from
     :func:`match_resume_rows`) short-circuits those trials; only the
     missing ones execute, and the merged result keeps trial order.
+
+    ``pool`` injects an externally owned worker pool (see
+    :func:`create_worker_pool`); trials are mapped over it and it is left
+    open for the caller's next run.  Without one, ``workers > 1`` spins up
+    a private per-call pool as before.  Rows are byte-identical either
+    way: seeds derive from the root seed and trial index, never from how
+    trials land on workers.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -163,17 +191,13 @@ def run_trials(
         task["root_seed"] = seed
         payloads.append((spec.trial_fn, task))
 
-    if workers == 1 or len(payloads) <= 1:
+    if pool is not None and payloads:
+        fresh = pool.map(_execute_trial, payloads)
+    elif workers == 1 or len(payloads) <= 1:
         fresh = [_execute_trial(payload) for payload in payloads]
     else:
-        # fork keeps already-imported scenario modules available in children;
-        # fall back to the platform default where fork is unavailable.
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context()
-        with context.Pool(processes=min(workers, len(payloads))) as pool:
-            fresh = pool.map(_execute_trial, payloads)
+        with create_worker_pool(min(workers, len(payloads))) as own_pool:
+            fresh = own_pool.map(_execute_trial, payloads)
 
     if not cached:
         return fresh
@@ -188,6 +212,7 @@ def run_scenario(
     workers: int = 1,
     seed: int = 0,
     resume: Optional[Union[str, Path, RunManifest]] = None,
+    pool: Optional[multiprocessing.pool.Pool] = None,
 ) -> RunManifest:
     """Resolve, execute and aggregate one scenario; return its manifest.
 
@@ -195,6 +220,10 @@ def run_scenario(
     one -- for the same (scenario, params, seed); trials whose rows it
     already contains are skipped and the merged row set is byte-identical
     to an uninterrupted run's.
+
+    ``pool`` forwards an externally owned worker pool to
+    :func:`run_trials` so many scenarios can share one set of workers
+    (the campaign orchestrator's path); the caller closes it.
     """
     spec = (
         name_or_spec
@@ -212,7 +241,9 @@ def run_scenario(
         cached_rows = match_resume_rows(spec, trials, seed, params, prior)
 
     started = time.time()
-    rows = run_trials(spec, trials, workers=workers, seed=seed, cached_rows=cached_rows)
+    rows = run_trials(
+        spec, trials, workers=workers, seed=seed, cached_rows=cached_rows, pool=pool
+    )
     duration = time.time() - started
 
     summary: List[Dict[str, object]] = []

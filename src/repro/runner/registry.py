@@ -196,13 +196,49 @@ def coerce_value(text: str, spec: ParamSpec) -> object:
     return _coerce_scalar(text, type(default))
 
 
+def _conform_typed(scenario: str, key: str, default: object, value: object) -> object:
+    """Check an already-typed override against its parameter's default type.
+
+    Friendly widenings are applied instead of rejected: int -> float for
+    float-valued parameters (config formats write ``1``, not ``1.0``) and
+    list -> tuple for sequence-valued ones.  Anything else mistyped fails
+    here -- at resolution time, with the parameter named -- rather than
+    deep inside a trial builder after work has started.
+    """
+    if isinstance(default, bool):
+        ok = isinstance(value, bool)
+    elif isinstance(default, int):
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif isinstance(default, float):
+        if isinstance(value, int) and not isinstance(value, bool):
+            value = float(value)
+        ok = isinstance(value, float)
+    elif isinstance(default, tuple):
+        if isinstance(value, list):
+            value = tuple(value)
+        ok = isinstance(value, tuple)
+    elif isinstance(default, str):
+        ok = isinstance(value, str)
+    else:
+        ok = True
+    if not ok:
+        raise ScenarioError(
+            f"scenario {scenario!r} parameter {key!r} expects "
+            f"{type(default).__name__} (default {default!r}), got "
+            f"{type(value).__name__} value {value!r}"
+        )
+    return value
+
+
 def resolve_params(
     spec: ScenarioSpec, overrides: Optional[Mapping[str, object]] = None
 ) -> Dict[str, object]:
     """Merge overrides into the scenario's defaults, validating names.
 
     String override values are coerced to the schema type; already-typed
-    values (from Python callers) are used as-is.
+    values (from Python callers, campaign specs, ...) are type-checked
+    against the default (with int->float and list->tuple widening), so
+    every entry point fails fast on a mistyped value.
     """
     resolved = spec.default_params()
     for key, value in dict(overrides or {}).items():
@@ -219,5 +255,7 @@ def resolve_params(
                     f"invalid value {value!r} for parameter {key!r} of scenario "
                     f"{spec.name!r}: {error}"
                 ) from None
-        resolved[key] = value
+        resolved[key] = _conform_typed(
+            spec.name, key, spec.params[key].default, value
+        )
     return resolved

@@ -104,7 +104,17 @@ class RunManifest:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunManifest":
-        """Rebuild a manifest from its dictionary form."""
+        """Rebuild a manifest from its dictionary form.
+
+        Raises :class:`ValueError` for *any* malformed input -- including
+        well-formed JSON of the wrong shape (a top-level array, a scalar
+        ``rows``, ...) -- so callers need exactly one exception type to
+        treat a manifest as unloadable.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"manifest must be a JSON object, got {type(data).__name__}"
+            )
         known = {
             "scenario",
             "params",
@@ -122,6 +132,12 @@ class RunManifest:
         missing = {"scenario", "params", "seed", "workers"} - set(fields)
         if missing:
             raise ValueError(f"manifest missing required fields: {sorted(missing)}")
+        for key in ("rows", "summary"):
+            if key in fields and not isinstance(fields[key], list):
+                raise ValueError(
+                    f"manifest field {key!r} must be a list, got "
+                    f"{type(fields[key]).__name__}"
+                )
         fields.setdefault("trial_count", len(data.get("rows", [])))
         fields.setdefault("duration_seconds", 0.0)
         return cls(**fields)

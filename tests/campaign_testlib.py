@@ -1,0 +1,61 @@
+"""Tiny registered scenarios shared by the campaign-layer tests.
+
+Lives in its own module (not conftest.py) because the trial functions
+must be picklable into pool workers, and pytest gives every conftest.py
+the same bare module name ``conftest`` -- pickle would resolve the
+attribute against whichever conftest was imported first.
+"""
+
+from __future__ import annotations
+
+from repro.runner.registry import ParamSpec, ScenarioSpec
+
+
+def camp_alpha_trial(task):
+    """Deterministic in (seed, x, scale) only -- instant to execute."""
+    return {"x": task["x"], "value": float((task["seed"] % 97) + task["x"] * task["scale"])}
+
+
+def camp_alpha_build(params):
+    return [{"x": x, "scale": params["scale"]} for x in range(params["trials"])]
+
+
+def camp_alpha_aggregate(rows, params):
+    from repro.runner.aggregate import summarize
+
+    return summarize(rows, group_by=(), values=("value",))
+
+
+def camp_beta_trial(task):
+    return {"loss": float(task["seed"] % 13) / (1.0 + task["level"])}
+
+
+def camp_beta_build(params):
+    return [{"level": params["level"]} for _ in range(params["trials"])]
+
+
+def campaign_test_specs():
+    """The 'camp-alpha' (with aggregator) and 'camp-beta' (without) specs."""
+    return [
+        ScenarioSpec(
+            name="camp-alpha",
+            description="campaign test scenario with an aggregator",
+            trial_fn=camp_alpha_trial,
+            build_trials=camp_alpha_build,
+            params={
+                "trials": ParamSpec(3, "trial count"),
+                "scale": ParamSpec(1, "value multiplier"),
+            },
+            aggregate=camp_alpha_aggregate,
+        ),
+        ScenarioSpec(
+            name="camp-beta",
+            description="campaign test scenario without an aggregator",
+            trial_fn=camp_beta_trial,
+            build_trials=camp_beta_build,
+            params={
+                "trials": ParamSpec(2, "trial count"),
+                "level": ParamSpec(0, "difficulty level"),
+            },
+        ),
+    ]

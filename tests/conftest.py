@@ -62,3 +62,22 @@ def confirm_all(protocol: FileInsurerProtocol, file_id: int) -> None:
 def confirm_all_helper():
     """Expose :func:`confirm_all` to tests as a fixture."""
     return confirm_all
+
+
+@pytest.fixture
+def campaign_scenarios():
+    """Register two tiny scenarios ('camp-alpha', 'camp-beta') for campaign tests.
+
+    The trial functions live in :mod:`campaign_testlib` (a uniquely named
+    module) so they stay picklable into pool workers.
+    """
+    from campaign_testlib import campaign_test_specs
+
+    from repro.runner.registry import register, unregister
+
+    specs = campaign_test_specs()
+    for spec in specs:
+        register(spec, replace=True)
+    yield specs
+    for spec in specs:
+        unregister(spec.name)

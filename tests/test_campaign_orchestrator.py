@@ -1,0 +1,243 @@
+"""Campaign orchestration tests: shared pool, cache skips, reporting, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.campaign.orchestrator as orchestrator_module
+from repro.campaign.orchestrator import run_campaign
+from repro.campaign.report import axis_marginal_rows, cell_rows, render_csv, render_markdown
+from repro.campaign.spec import parse_campaign
+from repro.campaign.store import ResultStore
+from repro.runner.executor import create_worker_pool
+
+
+def _two_scenario_spec():
+    """2 scenarios, 4 cells: the shape the CI smoke job also runs."""
+    return parse_campaign(
+        {
+            "campaign": {"name": "grid", "description": "test grid"},
+            "scenarios": [
+                {"scenario": "camp-alpha", "sweep": {"scale": [1, 2]}},
+                {"scenario": "camp-beta", "sweep": {"level": [0, 1]}},
+            ],
+        }
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store", version="v1")
+
+
+class TestSharedPool:
+    def test_one_pool_serves_all_scenarios_and_cells(
+        self, campaign_scenarios, store, monkeypatch
+    ):
+        """The acceptance criterion: >=2 scenarios' cells, exactly one pool."""
+        created = []
+
+        def counting_factory(workers):
+            pool = create_worker_pool(workers)
+            created.append(workers)
+            return pool
+
+        monkeypatch.setattr(
+            orchestrator_module, "create_worker_pool", counting_factory
+        )
+        result = run_campaign(_two_scenario_spec(), store, workers=2)
+        assert result.cells == 4
+        assert {o.cell.scenario for o in result.outcomes} == {"camp-alpha", "camp-beta"}
+        assert created == [2]
+        assert result.pools_created == 1
+
+    def test_fully_cached_campaign_creates_no_pool(
+        self, campaign_scenarios, store, monkeypatch
+    ):
+        run_campaign(_two_scenario_spec(), store, workers=2)
+
+        def failing_factory(workers):  # pragma: no cover - must not be called
+            raise AssertionError("pool created for a fully cached campaign")
+
+        monkeypatch.setattr(orchestrator_module, "create_worker_pool", failing_factory)
+        rerun = run_campaign(_two_scenario_spec(), store, workers=2)
+        assert rerun.cache_hits == 4
+        assert rerun.trials_executed == 0
+        assert rerun.pools_created == 0
+
+    def test_serial_campaign_never_forks(self, campaign_scenarios, store, monkeypatch):
+        monkeypatch.setattr(
+            orchestrator_module,
+            "create_worker_pool",
+            lambda workers: pytest.fail("workers=1 must not create a pool"),
+        )
+        result = run_campaign(_two_scenario_spec(), store, workers=1)
+        assert result.trials_executed == 10  # 2x3 alpha trials + 2x2 beta trials
+
+    def test_pooled_rows_equal_serial_rows(self, campaign_scenarios, tmp_path):
+        serial = run_campaign(
+            _two_scenario_spec(), ResultStore(tmp_path / "a", version="v1"), workers=1
+        )
+        pooled = run_campaign(
+            _two_scenario_spec(), ResultStore(tmp_path / "b", version="v1"), workers=2
+        )
+        for left, right in zip(serial.outcomes, pooled.outcomes):
+            assert left.manifest.rows == right.manifest.rows
+
+
+class TestCacheBehaviour:
+    def test_rerun_serves_every_cell_from_store(self, campaign_scenarios, store):
+        first = run_campaign(_two_scenario_spec(), store, workers=1)
+        assert first.cache_hits == 0
+        second = run_campaign(_two_scenario_spec(), store, workers=1)
+        assert second.cache_hits == second.cells == 4
+        assert second.trials_executed == 0
+        for left, right in zip(first.outcomes, second.outcomes):
+            assert left.key == right.key
+            assert left.manifest.to_json() == right.manifest.to_json()
+
+    def test_force_reexecutes_cached_cells(self, campaign_scenarios, store):
+        run_campaign(_two_scenario_spec(), store, workers=1)
+        forced = run_campaign(_two_scenario_spec(), store, workers=1, force=True)
+        assert forced.cache_hits == 0
+        assert forced.trials_executed == 10
+
+    def test_progress_callback_sees_every_cell_in_plan_order(
+        self, campaign_scenarios, store
+    ):
+        seen = []
+        run_campaign(_two_scenario_spec(), store, workers=1, progress=seen.append)
+        assert [o.cell.label for o in seen] == [
+            "camp-alpha[scale=1][seed=0]",
+            "camp-alpha[scale=2][seed=0]",
+            "camp-beta[level=0][seed=0]",
+            "camp-beta[level=1][seed=0]",
+        ]
+
+    def test_status_line_reports_hits_and_trials(self, campaign_scenarios, store):
+        run_campaign(_two_scenario_spec(), store, workers=1)
+        line = run_campaign(_two_scenario_spec(), store, workers=1).status_line()
+        assert "cache_hits=4/4 (100%)" in line
+        assert "trials_executed=0" in line
+
+
+class TestReport:
+    def test_reports_identical_between_fresh_and_cached_runs(
+        self, campaign_scenarios, store
+    ):
+        spec = _two_scenario_spec()
+        first = run_campaign(spec, store, workers=1)
+        second = run_campaign(spec, store, workers=1)
+        assert render_markdown(spec, first.outcomes) == render_markdown(
+            spec, second.outcomes
+        )
+        assert render_csv(first.outcomes) == render_csv(second.outcomes)
+
+    def test_cell_rows_carry_sweep_axes_and_summary(self, campaign_scenarios, store):
+        spec = _two_scenario_spec()
+        result = run_campaign(spec, store, workers=1)
+        tables = cell_rows(result.outcomes)
+        alpha = tables["camp-alpha"]
+        assert [row["sweep:scale"] for row in alpha] == [1, 2]
+        assert all(row["scenario"] == "camp-alpha" for row in alpha)
+        assert all("value_mean" in row for row in alpha)
+        # camp-beta has no aggregator: its summary is synthesised from rows.
+        assert all("loss_mean" in row for row in tables["camp-beta"])
+
+    def test_axis_marginals_aggregate_over_other_dimensions(
+        self, campaign_scenarios, store
+    ):
+        spec = _two_scenario_spec()
+        result = run_campaign(spec, store, workers=1)
+        rows = cell_rows(result.outcomes)["camp-alpha"]
+        marginal = axis_marginal_rows(rows, "scale")
+        assert [(row["scale"], row["metric"]) for row in marginal] == [
+            (1, "value"),
+            (2, "value"),
+        ]
+        assert all(row["cells"] == 1 for row in marginal)
+
+    def test_markdown_contains_scenario_sections(self, campaign_scenarios, store):
+        spec = _two_scenario_spec()
+        result = run_campaign(spec, store, workers=1)
+        text = render_markdown(spec, result.outcomes)
+        assert "# Campaign report: grid" in text
+        assert "## camp-alpha" in text
+        assert "### camp-alpha by scale" in text
+        assert "## camp-beta" in text
+
+
+class TestCampaignCli:
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "campaign": {"name": "cli-grid"},
+                    "scenarios": [
+                        {"scenario": "camp-alpha", "sweep": {"scale": [1, 2]}},
+                        {"scenario": "camp-beta"},
+                    ],
+                }
+            )
+        )
+        return str(path)
+
+    def test_run_then_cached_rerun(self, campaign_scenarios, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        spec = self._write_spec(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", spec, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "cache_hits=0/3" in out
+        assert "report written to" in out
+        assert main(["campaign", "run", spec, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "cache_hits=3/3 (100%)" in out
+        assert "trials_executed=0" in out
+
+    def test_status_does_not_execute(self, campaign_scenarios, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        spec = self._write_spec(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["campaign", "status", spec, "--store", store]) == 0
+        assert "cache_hits=0/3" in capsys.readouterr().out
+        assert not (tmp_path / "store").exists()
+
+    def test_report_fails_on_missing_cells(self, campaign_scenarios, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        spec = self._write_spec(tmp_path)
+        store = str(tmp_path / "store")
+        assert main(["campaign", "report", spec, "--store", store]) == 1
+        err = capsys.readouterr().err
+        assert "not in the store" in err
+        assert "missing: camp-alpha[scale=1][seed=0]" in err
+
+    def test_report_from_cache_only(self, campaign_scenarios, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        spec = self._write_spec(tmp_path)
+        store = str(tmp_path / "store")
+        report_dir = tmp_path / "report"
+        assert main(["campaign", "run", spec, "--store", store]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                ["campaign", "report", spec, "--store", store,
+                 "--report-dir", str(report_dir)]
+            )
+            == 0
+        )
+        assert (report_dir / "report.md").exists()
+        assert (report_dir / "summary.csv").exists()
+
+    def test_bad_spec_path_is_a_user_error(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        assert main(["campaign", "run", str(tmp_path / "nope.toml")]) == 2
+        assert "cannot read campaign spec" in capsys.readouterr().err

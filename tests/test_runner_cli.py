@@ -16,6 +16,35 @@ class TestList:
         for name in ("collision", "deposit", "robustness", "scalability", "table3", "table4"):
             assert name in out
 
+    def test_json_dump_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        dump = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in dump}
+        assert {"collision", "table3", "churn"} <= set(by_name)
+        table3 = by_name["table3"]
+        assert set(table3) == {"name", "description", "tags", "params"}
+        rounds = table3["params"]["rounds"]
+        assert rounds["default"] == 100
+        assert rounds["type"] == "int"
+        assert rounds["help"]
+        # Tuple defaults serialise as JSON arrays.
+        assert table3["params"]["modes"]["default"] == ["reallocate", "refresh"]
+
+    def test_json_dump_validates_campaign_sweep_params(self, capsys):
+        """The dump is the contract campaign specs validate against: every
+        swept parameter in the shipped example exists in the dump."""
+        from repro.campaign import load_campaign
+
+        assert main(["list", "--json"]) == 0
+        dump = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in dump}
+        spec = load_campaign("examples/table3_campaign.toml")
+        for entry in spec.entries:
+            assert entry.scenario in by_name
+            registered = set(by_name[entry.scenario]["params"])
+            assert set(entry.params) <= registered
+            assert set(entry.sweep) <= registered
+
 
 class TestRun:
     def test_run_writes_manifest(self, tmp_path, capsys):

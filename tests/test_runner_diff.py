@@ -109,6 +109,40 @@ class TestDiffManifests:
         diff = diff_manifests(_manifest(rows=rows), _manifest(rows=rows))
         assert [row["metric"] for row in diff["metrics"]] == ["loss"]
 
+    def test_matching_metric_sets_report_no_mismatch(self):
+        a = _manifest(summary=[_summary_row("x", 0.5, 0.1)])
+        b = _manifest(summary=[_summary_row("x", 0.6, 0.1)])
+        diff = diff_manifests(a, b)
+        assert diff["metrics_only_a"] == []
+        assert diff["metrics_only_b"] == []
+
+    def test_one_sided_metrics_reported(self):
+        a = _manifest(summary=[{"group": "x", "loss_mean": 0.1, "gain_mean": 0.2}])
+        b = _manifest(summary=[{"group": "x", "loss_mean": 0.3, "cost_mean": 0.4}])
+        diff = diff_manifests(a, b)
+        assert diff["metrics_only_a"] == ["gain"]
+        assert diff["metrics_only_b"] == ["cost"]
+        # The shared metric still gets its delta row.
+        assert [row["metric"] for row in diff["metrics"]] == ["loss"]
+
+    def test_metrics_filter_scopes_the_mismatch_check(self):
+        """Metrics the user excluded via --metrics must not count as a
+        mismatch -- the filter exists to compare just the shared set."""
+        a = _manifest(summary=[{"group": "x", "loss_mean": 0.1, "gain_mean": 0.2}])
+        b = _manifest(summary=[{"group": "x", "loss_mean": 0.3}])
+        diff = diff_manifests(a, b, metrics=["loss"])
+        assert diff["metrics_only_a"] == []
+        assert diff["metrics_only_b"] == []
+        diff = diff_manifests(a, b, metrics=["loss", "gain"])
+        assert diff["metrics_only_a"] == ["gain"]
+
+    def test_requested_metric_absent_from_both_is_flagged(self):
+        """A typo'd --metrics name must not produce a vacuous pass."""
+        a = _manifest(summary=[_summary_row("x", 0.5, 0.1)])
+        diff = diff_manifests(a, a, metrics=["no_such_metric"])
+        assert diff["metrics_missing"] == ["no_such_metric"]
+        assert diff_manifests(a, a, metrics=["loss"])["metrics_missing"] == []
+
     def test_rows_identical_flag(self):
         rows = [{"trial": 0, "seed": 1, "loss": 0.25}]
         assert diff_manifests(_manifest(rows=rows), _manifest(rows=rows))[
@@ -131,6 +165,18 @@ class TestFormatDiff:
     def test_warns_on_incomparable(self):
         text = format_diff(diff_manifests(_manifest(scenario="a"), _manifest(scenario="b")))
         assert "different scenarios" in text
+
+    def test_metric_mismatch_message_names_the_metrics(self):
+        a = _manifest(summary=[{"group": "x", "loss_mean": 0.1, "gain_mean": 0.2}])
+        b = _manifest(summary=[{"group": "x", "loss_mean": 0.3}])
+        text = format_diff(diff_manifests(a, b))
+        assert "metric sets differ" in text
+        assert "only in a: gain" in text
+
+    def test_no_mismatch_message_when_sets_match(self):
+        a = _manifest(summary=[_summary_row("x", 0.5, 0.1)])
+        text = format_diff(diff_manifests(a, a))
+        assert "metric sets differ" not in text
 
 
 class TestDiffCli:
@@ -157,6 +203,30 @@ class TestDiffCli:
         assert main(["diff", a, b]) == 1
         assert "different scenarios" in capsys.readouterr().out
 
+    def test_diff_metric_mismatch_exits_nonzero(self, tmp_path, capsys):
+        """A metric column present in only one manifest must fail loudly,
+        not silently vanish from the delta table."""
+        from repro.runner.cli import main
+
+        a = self._write(
+            tmp_path / "a.json",
+            _manifest(summary=[{"group": "x", "loss_mean": 0.1, "gain_mean": 0.2}]),
+        )
+        b = self._write(
+            tmp_path / "b.json", _manifest(summary=[{"group": "x", "loss_mean": 0.3}])
+        )
+        assert main(["diff", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "metric sets differ" in out
+        assert "only in a: gain" in out
+
+    def test_diff_matching_metrics_still_exits_zero(self, tmp_path):
+        from repro.runner.cli import main
+
+        a = self._write(tmp_path / "a.json", _manifest(summary=[_summary_row("x", 0.5, 0.1)]))
+        b = self._write(tmp_path / "b.json", _manifest(summary=[_summary_row("x", 0.9, 0.1)]))
+        assert main(["diff", a, b]) == 0
+
     def test_diff_missing_file_is_an_error(self, tmp_path, capsys):
         from repro.runner.cli import main
 
@@ -172,3 +242,23 @@ class TestDiffCli:
         bad.write_text("{not json")
         assert main(["diff", a, str(bad)]) == 2
         assert "cannot load manifest" in capsys.readouterr().err
+
+    def test_diff_wrong_shape_json_is_an_error_not_a_traceback(self, tmp_path, capsys):
+        """Valid JSON of the wrong shape must surface as the same clean
+        'cannot load manifest' error as syntactically bad JSON."""
+        from repro.runner.cli import main
+
+        a = self._write(tmp_path / "a.json", _manifest())
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            '{"scenario": "demo", "params": {}, "seed": 1, "workers": 1, "rows": 5}'
+        )
+        assert main(["diff", a, str(bad)]) == 2
+        assert "cannot load manifest" in capsys.readouterr().err
+
+    def test_diff_typod_metrics_filter_exits_nonzero(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        a = self._write(tmp_path / "a.json", _manifest(summary=[_summary_row("x", 0.5, 0.1)]))
+        assert main(["diff", a, a, "--metrics", "no_such_metric"]) == 1
+        assert "exist in neither manifest" in capsys.readouterr().out

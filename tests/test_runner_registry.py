@@ -143,6 +143,22 @@ class TestParamResolution:
         assert resolved["count"] == 9
         assert resolved["grid"] == (8,)
 
+    def test_mistyped_override_rejected_at_resolution(self):
+        """Already-typed values are checked too, so every entry point
+        (Python API, campaign specs) fails fast instead of mid-trial."""
+        with pytest.raises(ScenarioError, match="expects int"):
+            resolve_params(self._spec(), {"count": 2.5})
+        with pytest.raises(ScenarioError, match="expects float"):
+            resolve_params(self._spec(), {"rate": (1, 2)})
+        with pytest.raises(ScenarioError, match="expects bool"):
+            resolve_params(self._spec(), {"fast": 1})
+
+    def test_friendly_widenings(self):
+        resolved = resolve_params(self._spec(), {"rate": 1, "grid": [4, 5]})
+        assert resolved["rate"] == 1.0
+        assert isinstance(resolved["rate"], float)
+        assert resolved["grid"] == (4, 5)
+
     def test_unknown_parameter_rejected(self):
         with pytest.raises(ScenarioError, match="no parameter"):
             resolve_params(self._spec(), {"bogus": "1"})
