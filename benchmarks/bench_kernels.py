@@ -1,0 +1,127 @@
+"""Kernel benchmark artifact: reference vs vectorized, as JSON.
+
+Times the two extracted hot loops -- Table III refresh churn and the
+Section V-C greedy adversary -- on both :mod:`repro.kernels` backends at
+the pinned benchmark shapes (defined once in :mod:`kernel_shapes`,
+shared with the pytest gates), verifies the backends agree (identical
+``PlacementResult`` / identical chosen sector sets), and writes a
+machine-readable ``BENCH_kernels.json`` for the CI `bench-smoke` job to
+upload.  Exits non-zero when the vectorized backend is not faster than
+reference on either kernel, or when the refresh speedup misses the
+acceptance bar.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --out BENCH_kernels.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from typing import Dict
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import numpy as np  # noqa: E402
+
+from kernel_shapes import (  # noqa: E402
+    ADVERSARY_BUDGET,
+    ADVERSARY_N_FILES,
+    ADVERSARY_N_SECTORS,
+    ADVERSARY_REPLICAS,
+    MIN_REFRESH_SPEEDUP,
+    REFRESH_MULTIPLIER,
+    REFRESH_N_BACKUPS,
+    REFRESH_N_SECTORS,
+    best_wall,
+    run_greedy,
+    run_refresh,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_kernels.json", help="artifact path")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N wall per backend (default 3)"
+    )
+    args = parser.parse_args(argv)
+
+    # Correctness first: the artifact is meaningless if the backends drift.
+    assert run_refresh("reference") == run_refresh("vectorized"), (
+        "refresh kernels disagree between backends"
+    )
+    assert run_greedy("reference") == run_greedy("vectorized"), (
+        "greedy kernels disagree between backends"
+    )
+
+    results: Dict[str, Dict[str, float]] = {}
+    for kernel, run in (("refresh", run_refresh), ("greedy_adversary", run_greedy)):
+        walls = {
+            backend: best_wall(lambda: run(backend), args.repeats)
+            for backend in ("reference", "vectorized")
+        }
+        results[kernel] = {
+            "reference_seconds": round(walls["reference"], 6),
+            "vectorized_seconds": round(walls["vectorized"], 6),
+            "speedup": round(walls["reference"] / walls["vectorized"], 2),
+        }
+
+    artifact = {
+        "shapes": {
+            "refresh": {
+                "n_backups": REFRESH_N_BACKUPS,
+                "n_sectors": REFRESH_N_SECTORS,
+                "refresh_multiplier": REFRESH_MULTIPLIER,
+            },
+            "greedy_adversary": {
+                "n_sectors": ADVERSARY_N_SECTORS,
+                "n_files": ADVERSARY_N_FILES,
+                "replicas": ADVERSARY_REPLICAS,
+                "budget": ADVERSARY_BUDGET,
+            },
+        },
+        "results": results,
+        "acceptance": {
+            "refresh_min_speedup": MIN_REFRESH_SPEEDUP,
+            "greedy_min_speedup": 1.0,
+        },
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for kernel, row in results.items():
+        print(
+            f"{kernel}: reference {row['reference_seconds'] * 1000:.1f}ms, "
+            f"vectorized {row['vectorized_seconds'] * 1000:.1f}ms "
+            f"-> {row['speedup']}x"
+        )
+    print(f"artifact written to {args.out}")
+
+    failed = []
+    if results["refresh"]["speedup"] < MIN_REFRESH_SPEEDUP:
+        failed.append(
+            f"refresh speedup {results['refresh']['speedup']}x "
+            f"< {MIN_REFRESH_SPEEDUP}x"
+        )
+    if results["greedy_adversary"]["speedup"] <= 1.0:
+        failed.append(
+            "greedy_adversary: vectorized is not faster than reference "
+            f"({results['greedy_adversary']['speedup']}x)"
+        )
+    if failed:
+        print("FAIL: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""Pinned kernel-benchmark shapes and gates, shared by every consumer.
+
+One definition of the workloads and acceptance bars keeps the pytest
+gates (``test_bench_refresh.py``, ``test_bench_adversary.py``) and the
+CI artifact gate (``bench_kernels.py``) measuring the *same* thing --
+retuning a shape or a bar here retunes all of them together.
+
+Importable both under pytest (which puts ``benchmarks/`` on ``sys.path``)
+and from ``bench_kernels.py`` run as a script.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.adversary import GreedyCapacityAdversary
+from repro.sim.placement import PlacementExperiment, PlacementResult
+from repro.sim.workload import FileSizeDistribution
+
+#: Refresh shape: big enough that per-refresh cost dominates setup,
+#: small enough to finish a round in well under a second.
+REFRESH_N_BACKUPS = 20_000
+REFRESH_N_SECTORS = 200
+REFRESH_MULTIPLIER = 10  # => 200_000 refreshes per measured round
+REFRESH_DISTRIBUTION = FileSizeDistribution.EXPONENTIAL
+
+#: Kernel-extraction acceptance bar: vectorized refresh must beat the
+#: reference loop by at least this factor at the pinned shape.
+MIN_REFRESH_SPEEDUP = 5.0
+
+#: Greedy-adversary shape: 3000 files x 4 replicas over 600 sectors,
+#: corrupting 40% of capacity -- the robustness scenario's i.i.d.
+#: placement geometry at benchmark scale.
+ADVERSARY_N_SECTORS = 600
+ADVERSARY_N_FILES = 3_000
+ADVERSARY_REPLICAS = 4
+ADVERSARY_BUDGET = 0.4
+
+
+def run_refresh(backend: str) -> PlacementResult:
+    """One measured round of the pinned refresh workload."""
+    return PlacementExperiment(seed=0, backend=backend).run_refresh(
+        REFRESH_DISTRIBUTION,
+        REFRESH_N_BACKUPS,
+        REFRESH_N_SECTORS,
+        refresh_multiplier=REFRESH_MULTIPLIER,
+    )
+
+
+def adversary_workload():
+    """The pinned greedy-adversary inputs (capacities, placements, values)."""
+    rng = np.random.default_rng(7)
+    placements = [
+        list(rng.integers(0, ADVERSARY_N_SECTORS, ADVERSARY_REPLICAS))
+        for _ in range(ADVERSARY_N_FILES)
+    ]
+    values = [float(v) for v in rng.integers(1, 5, ADVERSARY_N_FILES)]
+    capacities = [float(c) for c in rng.integers(1, 4, ADVERSARY_N_SECTORS)]
+    return capacities, placements, values
+
+
+def run_greedy(backend: str):
+    """One full greedy selection at the pinned shape."""
+    capacities, placements, values = adversary_workload()
+    adversary = GreedyCapacityAdversary(seed=1, backend=backend)
+    return adversary.choose_sectors(capacities, placements, values, ADVERSARY_BUDGET)
+
+
+def best_wall(run: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-N wall time with the GC parked, as pytest-benchmark does."""
+    best = float("inf")
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best

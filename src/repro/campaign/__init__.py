@@ -45,6 +45,7 @@ from repro.campaign.spec import (
     CampaignSpec,
     ScenarioEntry,
     load_campaign,
+    matrix_campaign,
     parse_campaign,
 )
 from repro.campaign.store import ResultStore, cache_key
@@ -61,6 +62,7 @@ __all__ = [
     "cache_key",
     "cell_rows",
     "load_campaign",
+    "matrix_campaign",
     "parse_campaign",
     "plan_campaign",
     "render_csv",

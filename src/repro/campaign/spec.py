@@ -42,6 +42,7 @@ __all__ = [
     "CampaignError",
     "ScenarioEntry",
     "CampaignSpec",
+    "matrix_campaign",
     "parse_campaign",
     "load_campaign",
 ]
@@ -177,6 +178,39 @@ def parse_campaign(data: Mapping[str, object], source: str = "<memory>") -> Camp
         description=str(header.get("description", "")),
         seed=default_seed,
         store=str(header.get("store", "")),
+    )
+
+
+def matrix_campaign(matrix: str, seed: int = 0) -> CampaignSpec:
+    """Build a one-axis sweep campaign from ``scenario:param=v1,v2,...``.
+
+    The CLI shorthand ``repro campaign run --matrix table3:rounds=20,50``
+    expands to the same :class:`CampaignSpec` a spec file with one
+    ``[[scenarios]]`` entry and one ``sweep`` axis would produce, so it
+    rides the existing planner validation (unknown scenarios, unknown
+    parameters and uncoercible values fail before anything runs) and the
+    same content-addressed result store.  Values are passed as strings
+    and coerced by the registry exactly like ``repro run --set``.
+    """
+    scenario_part, separator, axis_part = matrix.partition(":")
+    scenario = scenario_part.strip()
+    parameter, value_separator, values_text = axis_part.partition("=")
+    parameter = parameter.strip()
+    values = tuple(value.strip() for value in values_text.split(",") if value.strip())
+    if not separator or not scenario or not value_separator or not parameter or not values:
+        raise CampaignError(
+            "--matrix expects SCENARIO:PARAM=VALUE[,VALUE...], got " f"{matrix!r}"
+        )
+    if seed < 0:
+        raise CampaignError("--matrix seed must be a non-negative integer")
+    entry = ScenarioEntry(
+        scenario=scenario, sweep={parameter: values}, seeds=(seed,)
+    )
+    return CampaignSpec(
+        name=f"matrix-{scenario}-{parameter}",
+        entries=(entry,),
+        description=f"one-axis sweep expanded from --matrix {matrix!r}",
+        seed=seed,
     )
 
 

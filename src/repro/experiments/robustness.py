@@ -70,13 +70,23 @@ def simulate_loss(
     lam: float,
     seed: int = 0,
     targeted: bool = False,
+    backend: Optional[str] = None,
 ) -> float:
-    """One Monte-Carlo trial: place files i.i.d., corrupt, return loss ratio."""
+    """One Monte-Carlo trial: place files i.i.d., corrupt, return loss ratio.
+
+    ``backend`` picks the greedy-selection kernel for the targeted
+    adversary (see :mod:`repro.kernels`); the choice never changes which
+    sectors are corrupted, only how fast they are found.
+    """
     rng = np.random.default_rng(seed)
     placements = [list(rng.integers(0, n_sectors, k)) for _ in range(n_files)]
     values = [1.0] * n_files
     capacities = [1.0] * n_sectors
-    adversary = GreedyCapacityAdversary(seed=seed) if targeted else RandomCapacityAdversary(seed=seed)
+    adversary = (
+        GreedyCapacityAdversary(seed=seed, backend=backend)
+        if targeted
+        else RandomCapacityAdversary(seed=seed)
+    )
     outcome = adversary.attack(capacities, placements, values, lam)
     return outcome.value_loss_ratio
 
@@ -174,6 +184,9 @@ _SCENARIO_PARAMS = {
     "k": ParamSpec(10, "replicas per file"),
     "trials": ParamSpec(5, "Monte-Carlo repetitions per (lambda, adversary)"),
     "cap_para": ParamSpec(10.0, "capacity parameter for the bound"),
+    "backend": ParamSpec(
+        "auto", "simulation-kernel backend (auto, reference or vectorized)"
+    ),
 }
 
 
@@ -186,6 +199,7 @@ def _build_trials(params):
             "n_sectors": params["n_sectors"],
             "n_files": params["n_files"],
             "k": params["k"],
+            "backend": params["backend"],
         }
         for lam in params["lambdas"]
         for targeted in (False, True)
@@ -230,6 +244,7 @@ def _robustness_trial(task) -> Dict[str, object]:
         lam=task["lam"],
         seed=task["seed"],
         targeted=task["targeted"],
+        backend=task["backend"],
     )
     return {
         "lambda": task["lam"],

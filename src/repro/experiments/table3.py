@@ -63,9 +63,10 @@ def run_table3(
     rounds: int = 100,
     refresh_multiplier: int = 100,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> List[PlacementResult]:
     """Run one setting of Table III and return the per-cell results."""
-    experiment = PlacementExperiment(seed=seed)
+    experiment = PlacementExperiment(seed=seed, backend=backend)
     return experiment.sweep(
         grid=list(grid or default_grid()),
         distributions=distributions,
@@ -94,6 +95,9 @@ _SCENARIO_PARAMS = {
     "rounds": ParamSpec(100, "reallocation rounds per cell"),
     "refresh_multiplier": ParamSpec(100, "refreshes per backup in refresh mode"),
     "max_ncp": ParamSpec(10**8, "drop grid cells with more than this many backups"),
+    "backend": ParamSpec(
+        "auto", "simulation-kernel backend (auto, reference or vectorized)"
+    ),
 }
 
 
@@ -113,6 +117,7 @@ def _build_trials(params):
             "ns": n_sectors,
             "rounds": params["rounds"],
             "refresh_multiplier": params["refresh_multiplier"],
+            "backend": params["backend"],
         }
         for mode in params["modes"]
         for n_backups, n_sectors in grid
@@ -148,7 +153,7 @@ def _aggregate(rows, params):
 )
 def _table3_trial(task) -> Dict[str, object]:
     """Run all five size distributions for one grid cell of one setting."""
-    experiment = PlacementExperiment(seed=task["seed"])
+    experiment = PlacementExperiment(seed=task["seed"], backend=task["backend"])
     results = experiment.sweep(
         grid=[(task["ncp"], task["ns"])],
         mode=task["mode"],
@@ -168,6 +173,7 @@ def main(
     refresh_multiplier: int = 100,
     seed: int = 0,
     workers: int = 1,
+    backend: str = "auto",
 ) -> Dict[str, List[Dict[str, object]]]:
     """Run both settings through the runner and print paper-style tables."""
     from repro.runner.executor import run_scenario
@@ -178,6 +184,7 @@ def main(
             "scale": scale,
             "rounds": rounds,
             "refresh_multiplier": refresh_multiplier,
+            "backend": backend,
         },
         workers=workers,
         seed=seed,

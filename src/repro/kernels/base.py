@@ -1,0 +1,116 @@
+"""The simulation-kernel contract shared by every backend.
+
+A *kernel backend* packages the three inner loops that dominate the
+paper's largest experiments (Table III refresh churn, Section V-C
+adversarial robustness) behind one small, numerically pinned API:
+
+* :meth:`KernelBackend.place_backups` -- batched capacity-proportional
+  placement of every backup into equal-capacity sectors;
+* :meth:`KernelBackend.refresh_moves` -- a batch of refresh moves applied
+  to a live placement, reporting the running per-sector usage maximum;
+* :meth:`KernelBackend.greedy_select` -- budgeted greedy sector selection
+  for the targeted-corruption adversary.
+
+Backends must be **bit-equivalent**: for identical inputs (including the
+shared RNG draws, which happen *outside* the kernels so every backend
+consumes the same stream) the ``reference`` and ``vectorized`` backends
+return identical floats and identical sector choices.  The contract is
+enforced by ``tests/test_kernels_equivalence.py``; every implementation
+note below about operation *order* exists to keep floating-point results
+exactly equal, not merely close.
+
+Tie-breaking in :meth:`greedy_select` is part of the contract: candidates
+are scored by ``(finishing_value, replica_count / capacity)`` and ties
+resolve to the lowest sector index.  Exact cross-backend equality of the
+chosen set additionally requires file values whose partial sums are
+exactly representable (integers or small dyadics); the experiments use
+integer-valued files, where equality is exact.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend(ABC):
+    """Abstract interface of one simulation-kernel implementation."""
+
+    #: Registry name of the backend (``"reference"``, ``"vectorized"``).
+    name: str = "?"
+
+    @abstractmethod
+    def place_backups(
+        self, rng: np.random.Generator, sizes: np.ndarray, n_sectors: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Place every backup into a uniformly drawn sector.
+
+        Draws exactly ``len(sizes)`` integers from ``rng`` (so all
+        backends consume the same stream) and returns ``(assignments,
+        usage)``: the per-backup sector index and the per-sector used
+        space.  ``usage`` must equal the result of adding ``sizes`` to the
+        sectors in backup order, which pins the floating-point sum.
+        """
+
+    @abstractmethod
+    def refresh_moves(
+        self,
+        sizes: np.ndarray,
+        usage: np.ndarray,
+        assignments: np.ndarray,
+        chosen: np.ndarray,
+        targets: np.ndarray,
+        snapshot_after: Sequence[int] = (),
+    ) -> Tuple[float, List[np.ndarray]]:
+        """Apply a batch of refresh moves in chronological order.
+
+        Move ``i`` relocates backup ``chosen[i]`` from its current sector
+        to ``targets[i]``; ``usage`` and ``assignments`` are updated in
+        place.  Self-moves (current sector equals the target) are no-ops
+        and must not touch ``usage`` at all, so no spurious floating-point
+        round-trip occurs.
+
+        ``snapshot_after`` lists strictly increasing move counts (1-based,
+        each at most ``len(chosen)``, self-moves included in the count);
+        for each, the returned list carries a *copy* of the usage vector
+        exactly as it stands after that many moves -- this is what lets
+        the caller sample metrics on a fixed refresh cadence while still
+        handing the kernel arbitrarily large batches.
+
+        Returns ``(batch_max, snapshots)``.  ``batch_max`` must satisfy
+        ``max(start_max, batch_max) == max(start_max, target_max)`` for
+        any ``start_max >= usage.max()`` at batch entry, where
+        ``target_max`` is the maximum value ``usage[targets[i]]`` reached
+        *just after* any non-self move (``-inf`` when every move is a
+        self-move or the batch is empty).  Backends may include
+        already-dominated candidates -- e.g. the vectorized backend folds
+        in each touched sector's starting level, the reference backend
+        reports ``target_max`` exactly -- because the experiment only
+        ever folds ``batch_max`` into a running maximum that already
+        covers the starting usage, where both conventions accumulate to
+        bit-identical results.  Per sector, updates must be applied as
+        sequential additions in move order -- the invariant that makes
+        batched and serial processing bit-identical.
+        """
+
+    @abstractmethod
+    def greedy_select(
+        self,
+        capacities: np.ndarray,
+        placements: Sequence[Sequence[int]],
+        values: Sequence[float],
+        budget: float,
+    ) -> Set[int]:
+        """Greedy budgeted sector selection for the targeted adversary.
+
+        Repeatedly corrupts the candidate sector with the best
+        ``(finishing_value, replica_count / capacity)`` score that still
+        fits the remaining ``budget`` (absolute capacity units), where
+        ``finishing_value`` sums the values of files whose *last* healthy
+        replica lives in the candidate.  Ties resolve to the lowest
+        sector index.  Stops when no candidate fits the budget.
+        """

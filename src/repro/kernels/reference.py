@@ -1,0 +1,114 @@
+"""Reference kernels: the readable per-item loops, kept as the oracle.
+
+These are the original inner loops of :mod:`repro.sim.placement` and
+:mod:`repro.sim.adversary`, extracted verbatim (modulo the deterministic
+lowest-index tie-break in the greedy adversary, which both backends now
+share).  They are intentionally *not* optimised: each one states the
+semantics the ``vectorized`` backend must reproduce bit-for-bit, and the
+cross-backend equivalence tests treat them as ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend
+
+__all__ = ["ReferenceKernels"]
+
+
+class ReferenceKernels(KernelBackend):
+    """Pure-Python loops; correct by inspection, slow by design."""
+
+    name = "reference"
+
+    def place_backups(
+        self, rng: np.random.Generator, sizes: np.ndarray, n_sectors: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        assignments = rng.integers(0, n_sectors, sizes.shape[0])
+        usage = np.zeros(n_sectors, dtype=float)
+        for index, sector in enumerate(assignments):
+            usage[sector] += sizes[index]
+        return assignments, usage
+
+    def refresh_moves(
+        self,
+        sizes: np.ndarray,
+        usage: np.ndarray,
+        assignments: np.ndarray,
+        chosen: np.ndarray,
+        targets: np.ndarray,
+        snapshot_after: Sequence[int] = (),
+    ) -> Tuple[float, List[np.ndarray]]:
+        # Slice the move stream at the snapshot boundaries so the inner
+        # loop stays the original tight per-move loop, with no bookkeeping.
+        snapshots: List[np.ndarray] = []
+        max_target = float("-inf")
+        start = 0
+        for bound in (*snapshot_after, int(chosen.size)):
+            for backup_index, target in zip(chosen[start:bound], targets[start:bound]):
+                source = assignments[backup_index]
+                if source == target:
+                    continue
+                size = sizes[backup_index]
+                usage[source] -= size
+                usage[target] += size
+                assignments[backup_index] = target
+                if usage[target] > max_target:
+                    max_target = float(usage[target])
+            start = bound
+            if len(snapshots) < len(snapshot_after):
+                snapshots.append(usage.copy())
+        return max_target, snapshots
+
+    def greedy_select(
+        self,
+        capacities: np.ndarray,
+        placements: Sequence[Sequence[int]],
+        values: Sequence[float],
+        budget: float,
+    ) -> Set[int]:
+        caps = np.asarray(capacities, dtype=float)
+        n_sectors = len(caps)
+
+        # sector -> set of files with a replica there; files keep counting
+        # even once lost, mirroring the original scoring loop.
+        hosted: List[Dict[int, int]] = [dict() for _ in range(n_sectors)]
+        remaining_healthy: List[int] = []
+        for file_index, sectors in enumerate(placements):
+            distinct = set(sectors)
+            remaining_healthy.append(len(distinct))
+            for sector in distinct:
+                hosted[sector][file_index] = hosted[sector].get(file_index, 0) + 1
+
+        chosen: Set[int] = set()
+        spent = 0.0
+        candidates = set(range(n_sectors))
+        while candidates:
+            best_sector = None
+            best_score = (-1.0, -1.0)
+            # Sorted iteration pins the tie-break: the lowest-index sector
+            # among equal scores wins on every backend.
+            for sector in sorted(candidates):
+                if spent + caps[sector] > budget + 1e-9:
+                    continue
+                finishing_value = 0.0
+                replica_count = 0
+                for file_index in hosted[sector]:
+                    replica_count += 1
+                    if remaining_healthy[file_index] == 1:
+                        finishing_value += values[file_index]
+                score = (finishing_value, float(replica_count) / max(caps[sector], 1e-12))
+                if score > best_score:
+                    best_score = score
+                    best_sector = sector
+            if best_sector is None:
+                break
+            candidates.discard(best_sector)
+            chosen.add(best_sector)
+            spent += caps[best_sector]
+            for file_index in hosted[best_sector]:
+                remaining_healthy[file_index] -= 1
+        return chosen

@@ -1,0 +1,374 @@
+"""Vectorised kernels: numpy sorted/grouped scans, bit-equal to reference.
+
+Three ideas carry the speedups while preserving exact floating-point
+equality with :class:`~repro.kernels.reference.ReferenceKernels`:
+
+* **refresh churn** -- a batch of moves is resolved into per-move source
+  sectors with one stable argsort over the moved backups (a move's source
+  is the previous move's target, or the standing assignment).  The
+  resulting +/- size events are then grouped by sector and each sector's
+  additions are replayed with one ``np.cumsum`` seeded by its starting
+  usage -- as contiguous segments of a flat work array when groups are
+  few, as rows of a zero-padded 2D table when they are many (padding
+  with ``0.0`` is a floating-point no-op).  Either way the replay
+  performs *exactly* the sequential additions of the reference loop, so
+  running per-sector maxima, boundary snapshots and the final usage
+  vector are bit-identical to the scalar loop, for any batch split.
+* **greedy selection** -- instead of rescoring every candidate against
+  every hosted file per pick (O(sectors x files/sector)), the
+  ``finishing_value`` array is maintained incrementally: corrupting a
+  sector decrements its files' healthy-replica counts, and only files
+  crossing the 2 -> 1 (now finishable) or 1 -> 0 (lost) boundaries touch
+  the scores of the sectors hosting them.  Each pick is then one masked
+  lexicographic argmax over the sector arrays.
+* **placement** -- ``np.bincount`` accumulates weights in input order,
+  i.e. the same addition order as the reference loop, so the batched
+  capacity-proportional placement is exact as well.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend
+
+__all__ = ["VectorizedKernels"]
+
+#: Upper bound on the padded (sectors x events) table, in cells.  A batch
+#: whose per-sector event skew would exceed it is split in half; each half
+#: is still applied sequentially, so results do not change (128 MiB of
+#: float64 at the default).
+_MAX_TABLE_CELLS = 16_000_000
+
+#: Group-count threshold below which the per-sector cumsum replay runs as
+#: a Python loop over contiguous segments (tiny constant per group)
+#: instead of the padded-table layout (pays per *cell*, including
+#: padding).  Both layouts are bit-identical; this is purely a cost knob.
+_GROUP_LOOP_MAX = 1024
+
+
+class VectorizedKernels(KernelBackend):
+    """numpy implementations of the simulation kernels."""
+
+    name = "vectorized"
+
+    def place_backups(
+        self, rng: np.random.Generator, sizes: np.ndarray, n_sectors: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        assignments = rng.integers(0, n_sectors, sizes.shape[0])
+        usage = np.bincount(assignments, weights=sizes, minlength=n_sectors)
+        return assignments, usage.astype(float, copy=False)
+
+    # ------------------------------------------------------------------
+    # Refresh churn
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _index_dtype(n_keys: int) -> np.dtype:
+        """Narrowest unsigned dtype holding values in ``[0, n_keys)``.
+
+        numpy's stable sort is a radix sort for <= 16-bit integers and a
+        much slower mergesort above, so shrinking index arrays buys both
+        the sorts and every gather/scatter they feed.
+        """
+        if n_keys <= np.iinfo(np.uint8).max:
+            return np.dtype(np.uint8)
+        if n_keys <= np.iinfo(np.uint16).max:
+            return np.dtype(np.uint16)
+        if n_keys <= np.iinfo(np.uint32).max:
+            return np.dtype(np.uint32)
+        return np.dtype(np.uint64)
+
+    @staticmethod
+    def _stable_group_order(keys: np.ndarray, n_keys: int) -> np.ndarray:
+        """Indices that stably group ``keys`` (values in ``[0, n_keys)``).
+
+        Radix-sorts directly for <= 16-bit keys; above that, sorts the
+        unique combined key ``key * len(keys) + position`` with the
+        default introsort (unique keys make it order-preserving, and it
+        beats a 64-bit mergesort ~4x).
+        """
+        if keys.itemsize <= 2:
+            return np.argsort(keys, kind="stable")
+        if n_keys <= np.iinfo(np.uint16).max:
+            return np.argsort(keys.astype(np.uint16), kind="stable")
+        positions = np.arange(keys.size, dtype=np.int64)
+        return np.argsort(keys.astype(np.int64) * keys.size + positions)
+
+    def refresh_moves(
+        self,
+        sizes: np.ndarray,
+        usage: np.ndarray,
+        assignments: np.ndarray,
+        chosen: np.ndarray,
+        targets: np.ndarray,
+        snapshot_after: Sequence[int] = (),
+    ) -> Tuple[float, List[np.ndarray]]:
+        n_moves = int(chosen.size)
+        n_sectors = int(usage.size)
+        if n_moves == 0:
+            return float("-inf"), [usage.copy() for _ in snapshot_after]
+        n_backups = int(sizes.size)
+        sector_dtype = self._index_dtype(n_sectors)
+        backup_dtype = self._index_dtype(n_backups)
+        chosen = np.asarray(chosen).astype(backup_dtype, copy=False)
+        targets = np.asarray(targets).astype(sector_dtype, copy=False)
+
+        # Resolve each move's source sector: group moves by backup, in
+        # chronological order within a group; the first move of a group
+        # leaves the standing assignment, later moves leave the previous
+        # move's target.
+        order = self._stable_group_order(chosen, n_backups)
+        sorted_chosen = chosen[order]
+        sorted_targets = targets[order]
+        first = np.empty(n_moves, dtype=bool)
+        first[0] = True
+        first[1:] = sorted_chosen[1:] != sorted_chosen[:-1]
+        sources_sorted = np.empty(n_moves, dtype=sector_dtype)
+        sources_sorted[first] = assignments[sorted_chosen[first]]
+        not_first = ~first
+        sources_sorted[not_first] = sorted_targets[:-1][not_first[1:]]
+        sources = np.empty(n_moves, dtype=sector_dtype)
+        sources[order] = sources_sorted
+
+        # Self-moves are no-ops in the reference loop (no usage update at
+        # all); dropping them here keeps the per-sector addition sequences
+        # identical -- a -size/+size round-trip is not a float no-op.
+        moved = sources != targets
+        orig_move = np.flatnonzero(moved)
+        moved_backups = chosen[orig_move]
+        move_sources = sources[orig_move]
+        move_targets = targets[orig_move]
+        move_sizes = sizes[moved_backups]
+        n_real = int(orig_move.size)
+        if n_real == 0:
+            # Self-moves leave assignments unchanged, so nothing to update.
+            return float("-inf"), [usage.copy() for _ in snapshot_after]
+
+        # Two events per move, interleaved chronologically (-size at the
+        # source, then +size at the target), then grouped by sector with a
+        # stable sort so each group stays in move order.
+        n_events = 2 * n_real
+        event_sector = np.empty(n_events, dtype=sector_dtype)
+        event_sector[0::2] = move_sources
+        event_sector[1::2] = move_targets
+        event_delta = np.empty(n_events, dtype=float)
+        event_delta[0::2] = -move_sizes
+        event_delta[1::2] = move_sizes
+
+        # Group geometry comes straight from histograms -- no sorted-run
+        # boundary scan needed.  The snapshot boundaries split the
+        # chronological move stream into contiguous slices, so one
+        # per-slice histogram over the (unsorted) source/target arrays
+        # serves double duty: its column sums are the per-sector event
+        # counts, its running row sums are each boundary's events-so-far.
+        slice_edges = [b for b in snapshot_after if b < n_moves]
+        slice_edges.append(n_moves)
+        histogram = np.zeros((len(slice_edges), n_sectors), dtype=np.int64)
+        previous = 0
+        for slice_index, edge in enumerate(slice_edges):
+            applied = moved[previous:edge]
+            histogram[slice_index] = np.bincount(
+                sources[previous:edge][applied], minlength=n_sectors
+            )
+            histogram[slice_index] += np.bincount(
+                targets[previous:edge][applied], minlength=n_sectors
+            )
+            previous = edge
+        cumulative = np.cumsum(histogram, axis=0)
+        sector_counts = cumulative[-1]
+        group_sectors = np.flatnonzero(sector_counts)
+        counts = sector_counts[group_sectors]
+        n_groups = int(group_sectors.size)
+        width = int(counts.max())
+
+        if (
+            n_groups > _GROUP_LOOP_MAX
+            and n_groups * (width + 1) > _MAX_TABLE_CELLS
+            and n_moves > 1
+        ):
+            # Pathological skew in the padded-table regime (many sectors,
+            # most moves hitting few of them): fall back to two sequential
+            # half-batches.  The per-sector addition order is unchanged,
+            # so the result is bit-identical.  The segment-loop regime
+            # below the group threshold never pads, so it needs no split.
+            half = n_moves // 2
+            first_max, first_snaps = self.refresh_moves(
+                sizes,
+                usage,
+                assignments,
+                chosen[:half],
+                targets[:half],
+                tuple(b for b in snapshot_after if b <= half),
+            )
+            second_max, second_snaps = self.refresh_moves(
+                sizes,
+                usage,
+                assignments,
+                chosen[half:],
+                targets[half:],
+                tuple(b - half for b in snapshot_after if b > half),
+            )
+            return max(first_max, second_max), first_snaps + second_snaps
+
+        # Each backup's standing assignment becomes its last target:
+        # duplicate-index fancy assignment keeps the last value, and the
+        # moves are in chronological order.  This must stay *after* the
+        # split fallback above -- the recursive halves re-derive sources
+        # from the pre-batch assignments.
+        assignments[chosen] = targets
+
+        event_order = self._stable_group_order(event_sector, n_sectors)
+        delta = np.take(event_delta, event_order)
+        group_start = np.cumsum(counts) - counts
+
+        # Replay each sector's updates as one cumsum seeded with its
+        # starting usage: [initial, d1, d2, ...].  The cumsum performs the
+        # same left-to-right additions as the scalar loop, so every
+        # intermediate (and the final) value is bit-identical to it.  Two
+        # layouts with identical semantics:
+        #
+        # * few groups -- one contiguous segment per group in a flat work
+        #   array, cumsum'd in place group by group (cheap: the sorted
+        #   deltas are already group-contiguous);
+        # * many groups -- a zero-padded 2D table cumsum'd along rows
+        #   (padding zeros are float no-ops that hold each row at its
+        #   final value), avoiding a Python loop over huge group counts.
+        #
+        # Either way the batch maximum may include each touched sector's
+        # *starting* level (see KernelBackend.refresh_moves): post-source
+        # values never exceed an earlier value of the same sector, so the
+        # layout maximum is exactly max(touched starting levels, post-move
+        # target values) -- one flat reduction instead of a 2D gather.
+        initials = usage[group_sectors]
+        if n_groups <= _GROUP_LOOP_MAX:
+            extended = np.empty(n_events + n_groups, dtype=float)
+            extended_starts = group_start + np.arange(n_groups)
+            for g, (segment_start, event_start, count, initial) in enumerate(
+                zip(
+                    extended_starts.tolist(),
+                    group_start.tolist(),
+                    counts.tolist(),
+                    initials.tolist(),
+                )
+            ):
+                segment = extended[segment_start : segment_start + count + 1]
+                segment[0] = initial
+                segment[1:] = delta[event_start : event_start + count]
+                np.cumsum(segment, out=segment)
+            batch_max = float(extended.max())
+            value_base = extended
+            value_starts = extended_starts
+        else:
+            table = np.zeros((n_groups, width + 1), dtype=float)
+            table[:, 0] = initials
+            row_offset = (
+                np.arange(n_groups, dtype=np.int64) * (width + 1) + 1 - group_start
+            )
+            flat_index = np.arange(n_events, dtype=np.int64) + np.repeat(
+                row_offset, counts
+            )
+            table.reshape(-1)[flat_index] = delta
+            # In-place accumulate: same left-to-right additions as cumsum,
+            # without allocating (and page-faulting) a second table.
+            np.add.accumulate(table, axis=1, out=table)
+            batch_max = float(table.max())
+            value_base = table.reshape(-1)
+            value_starts = np.arange(n_groups, dtype=np.int64) * (width + 1)
+
+        # A snapshot after ``bound`` moves reads, per sector, the running
+        # value of its last event before the boundary (offset 0 -- the
+        # starting usage -- when it has none yet): exactly the array the
+        # reference loop would copy at that point.
+        snapshots: List[np.ndarray] = []
+        if snapshot_after:
+            events_before = cumulative[:, group_sectors]
+            for bound_index in range(len(snapshot_after)):
+                snapshot = usage.copy()
+                snapshot[group_sectors] = value_base[
+                    value_starts + events_before[bound_index]
+                ]
+                snapshots.append(snapshot)
+
+        usage[group_sectors] = value_base[value_starts + counts]
+        return batch_max, snapshots
+
+    # ------------------------------------------------------------------
+    # Greedy budgeted selection
+    # ------------------------------------------------------------------
+    def greedy_select(
+        self,
+        capacities: np.ndarray,
+        placements: Sequence[Sequence[int]],
+        values: Sequence[float],
+        budget: float,
+    ) -> Set[int]:
+        caps = np.asarray(capacities, dtype=float)
+        n_sectors = int(caps.size)
+        values_arr = np.asarray(values, dtype=float)
+        n_files = len(placements)
+
+        # Distinct (file, sector) incidence, as two flat CSR-style views.
+        file_ids: List[int] = []
+        sector_ids: List[int] = []
+        for file_index, sectors in enumerate(placements):
+            for sector in sorted(set(sectors)):
+                file_ids.append(file_index)
+                sector_ids.append(sector)
+        file_of = np.asarray(file_ids, dtype=np.int64)
+        sector_of = np.asarray(sector_ids, dtype=np.int64)
+
+        remaining_healthy = np.bincount(file_of, minlength=n_files).astype(np.int64)
+        replica_count = np.bincount(sector_of, minlength=n_sectors).astype(float)
+
+        by_sector = np.argsort(sector_of, kind="stable")
+        files_by_sector = file_of[by_sector]
+        sector_starts = np.searchsorted(
+            sector_of[by_sector], np.arange(n_sectors + 1)
+        )
+        # file_of is built in nondecreasing file order, so the by-file CSR
+        # view is just the incidence arrays themselves -- no sort needed.
+        sectors_by_file = sector_of
+        file_starts = np.searchsorted(file_of, np.arange(n_files + 1))
+
+        finishing = np.zeros(n_sectors, dtype=float)
+        for file_index in np.flatnonzero(remaining_healthy == 1):
+            hosts = sectors_by_file[
+                file_starts[file_index] : file_starts[file_index + 1]
+            ]
+            finishing[hosts] += values_arr[file_index]
+
+        # The secondary score is static: lost files keep counting, exactly
+        # as in the reference scan.
+        secondary = replica_count / np.maximum(caps, 1e-12)
+
+        candidate = np.ones(n_sectors, dtype=bool)
+        chosen: Set[int] = set()
+        spent = 0.0
+        while True:
+            feasible = candidate & (spent + caps <= budget + 1e-9)
+            if not feasible.any():
+                break
+            primary = np.where(feasible, finishing, -np.inf)
+            best_primary = primary.max()
+            tied = feasible & (primary == best_primary)
+            ranked = np.where(tied, secondary, -np.inf)
+            best = int(np.argmax(ranked))  # first occurrence = lowest index
+            candidate[best] = False
+            chosen.add(best)
+            spent += float(caps[best])
+            for file_index in files_by_sector[
+                sector_starts[best] : sector_starts[best + 1]
+            ]:
+                remaining_healthy[file_index] -= 1
+                left = remaining_healthy[file_index]
+                if left == 1 or left == 0:
+                    hosts = sectors_by_file[
+                        file_starts[file_index] : file_starts[file_index + 1]
+                    ]
+                    if left == 1:  # newly finishable
+                        finishing[hosts] += values_arr[file_index]
+                    else:  # lost: stops contributing anywhere
+                        finishing[hosts] -= values_arr[file_index]
+        return chosen

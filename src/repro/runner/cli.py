@@ -17,7 +17,14 @@ list|run|bench|diff|campaign``.
   exits non-zero when the manifests' metric sets do not even match.
 * ``repro campaign run|status|report <spec.toml>`` -- declarative
   multi-scenario sweeps through one shared worker pool, backed by the
-  content-addressed result store (see :mod:`repro.campaign`).
+  content-addressed result store (see :mod:`repro.campaign`);
+  ``campaign run --matrix scenario:param=a,b,c`` expands a one-axis
+  sweep without a spec file.
+
+``repro run|bench --backend reference|vectorized`` selects the
+simulation-kernel backend (:mod:`repro.kernels`) for scenarios that
+expose a ``backend`` parameter; the resolved name lands in the run
+manifest so ``repro diff`` flags backend drift.
 
 Installed as the ``repro`` console script by ``pyproject.toml``.
 """
@@ -48,8 +55,10 @@ examples:
   repro run robustness --workers 4 --seed 7 --out runs/robust.json
   repro run churn --set cycles=12 --set crash_rate=0.2 --out runs/churn.json
   repro run churn --resume runs/churn.json --out runs/churn.json
+  repro run table3 --backend reference   # kernel backend (hot-loop oracle)
   repro diff runs/a.json runs/b.json
   repro campaign run examples/table3_campaign.toml --workers 4
+  repro campaign run --matrix table3:rounds=20,50 --workers 4
   repro campaign status examples/table3_campaign.toml
 """
 
@@ -106,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--out", default=None, help="write the run manifest to this JSON path"
         )
+        sub.add_argument(
+            "--backend",
+            default=None,
+            metavar="NAME",
+            help="simulation-kernel backend for scenarios with a 'backend' "
+            "parameter: auto, reference or vectorized (default: auto, i.e. "
+            "$REPRO_KERNEL_BACKEND or vectorized); shorthand for "
+            "--set backend=NAME",
+        )
         if name == "run":
             sub.add_argument(
                 "--quiet",
@@ -146,7 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
         ("report", "regenerate the cross-cell report from cached results"),
     ):
         sub = verbs.add_parser(verb, help=help_text)
-        sub.add_argument("spec", help="campaign spec file (.toml or .json)")
+        if verb == "run":
+            sub.add_argument(
+                "spec",
+                nargs="?",
+                default=None,
+                help="campaign spec file (.toml or .json); omit with --matrix",
+            )
+        else:
+            sub.add_argument("spec", help="campaign spec file (.toml or .json)")
         sub.add_argument(
             "--store",
             default=None,
@@ -165,6 +191,20 @@ def build_parser() -> argparse.ArgumentParser:
                 "--force",
                 action="store_true",
                 help="re-execute cells even when the store already holds them",
+            )
+            sub.add_argument(
+                "--matrix",
+                default=None,
+                metavar="SCENARIO:PARAM=V1,V2[,...]",
+                help="expand a one-axis sweep without a spec file (one cell "
+                "per value, validated against the registry like a spec)",
+            )
+            sub.add_argument(
+                "--seed",
+                type=int,
+                default=None,
+                help="root seed for --matrix cells (default 0; spec files "
+                "carry their own seeds)",
             )
         if verb in ("run", "report"):
             sub.add_argument(
@@ -223,11 +263,24 @@ def _workers_or(args: argparse.Namespace, fallback: int) -> int:
     return workers
 
 
+def _overrides_with_backend(args: argparse.Namespace) -> Dict[str, str]:
+    """``--set`` overrides plus the ``--backend`` shorthand, if given."""
+    overrides = _parse_overrides(args.overrides)
+    if args.backend is not None:
+        if "backend" in overrides and overrides["backend"] != args.backend:
+            raise ScenarioError(
+                f"--backend {args.backend!r} conflicts with "
+                f"--set backend={overrides['backend']!r}"
+            )
+        overrides["backend"] = args.backend
+    return overrides
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.runner.results import RunManifest
 
     load_builtin_scenarios()
-    overrides = _parse_overrides(args.overrides)
+    overrides = _overrides_with_backend(args)
     workers = _workers_or(args, 1)
     resume = None
     if args.resume:
@@ -263,7 +316,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     load_builtin_scenarios()
-    overrides = _parse_overrides(args.overrides)
+    overrides = _overrides_with_backend(args)
     workers = _workers_or(args, default_workers())
 
     timings: List[Dict[str, object]] = []
@@ -337,9 +390,26 @@ def _campaign_store(args: argparse.Namespace, spec):
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import load_campaign, run_campaign, write_report
+    from repro.campaign import (
+        CampaignError,
+        load_campaign,
+        matrix_campaign,
+        run_campaign,
+        write_report,
+    )
 
-    spec = load_campaign(args.spec)
+    if (args.spec is None) == (args.matrix is None):
+        raise CampaignError(
+            "campaign run needs exactly one of a spec file or --matrix"
+        )
+    if args.matrix is not None:
+        spec = matrix_campaign(args.matrix, seed=args.seed or 0)
+    else:
+        if args.seed is not None:
+            raise CampaignError(
+                "--seed only applies to --matrix; spec files carry their own seeds"
+            )
+        spec = load_campaign(args.spec)
     store = _campaign_store(args, spec)
     workers = _workers_or(args, 1)
 

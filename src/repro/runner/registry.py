@@ -239,6 +239,14 @@ def resolve_params(
     values (from Python callers, campaign specs, ...) are type-checked
     against the default (with int->float and list->tuple widening), so
     every entry point fails fast on a mistyped value.
+
+    ``backend`` is a *reserved* parameter name: scenarios that dispatch
+    into :mod:`repro.kernels` declare it with default ``"auto"``, and the
+    resolved dictionary always carries the **concrete** backend name
+    (``"auto"`` defers to ``$REPRO_KERNEL_BACKEND``, else the built-in
+    default).  Run manifests and campaign cache keys therefore record
+    which kernels actually ran, and ``repro diff`` flags backend drift
+    like any other parameter change.
     """
     resolved = spec.default_params()
     for key, value in dict(overrides or {}).items():
@@ -258,4 +266,13 @@ def resolve_params(
         resolved[key] = _conform_typed(
             spec.name, key, spec.params[key].default, value
         )
+    if isinstance(resolved.get("backend"), str):
+        from repro.kernels import KernelError, resolve_backend_name
+
+        try:
+            resolved["backend"] = resolve_backend_name(resolved["backend"])
+        except KernelError as error:
+            raise ScenarioError(
+                f"scenario {spec.name!r} parameter 'backend': {error}"
+            ) from None
     return resolved

@@ -15,6 +15,12 @@ files alive:
   sitting on healthy sectors (the refresh loop's recovery metric);
 * ``files_lost`` / ``value_compensated`` -- protocol-level losses and the
   compensation mechanism's response;
+* ``adversarial_loss`` -- Section V-C's robustness lens applied to the
+  *post-churn* placement: a :class:`~repro.sim.adversary.GreedyCapacityAdversary`
+  (running on the backend-dispatched :mod:`repro.kernels` greedy kernel)
+  corrupts an ``adversary_lambda`` fraction of the surviving healthy
+  capacity, and the realised value-loss ratio says how much churn has
+  eroded the randomness of the placement;
 * event counts (``joins``/``leaves``/``crashes``) so aggregated rows can be
   read against the realised churn intensity.
 
@@ -31,6 +37,7 @@ from repro.core.params import ProtocolParams
 from repro.crypto.prng import DeterministicPRNG
 from repro.runner.aggregate import compact_summary, summarize
 from repro.runner.registry import ParamSpec, scenario
+from repro.sim.adversary import GreedyCapacityAdversary
 from repro.sim.scenario import DSNScenario, ScenarioConfig
 
 __all__ = ["run_churn_trial", "main"]
@@ -54,6 +61,12 @@ _SCENARIO_PARAMS = {
     "join_rate": ParamSpec(0.3, "per-cycle probability a new provider joins"),
     "leave_rate": ParamSpec(0.15, "per-cycle probability a provider leaves gracefully"),
     "crash_rate": ParamSpec(0.15, "per-cycle probability a provider crashes"),
+    "adversary_lambda": ParamSpec(
+        0.3, "healthy-capacity fraction the post-churn greedy adversary corrupts"
+    ),
+    "backend": ParamSpec(
+        "auto", "simulation-kernel backend (auto, reference or vectorized)"
+    ),
     "trials": ParamSpec(3, "independent repetitions"),
 }
 
@@ -144,6 +157,38 @@ def run_churn_trial(task: Mapping[str, object]) -> Dict[str, object]:
         except LookupError:
             pass
 
+    # Section V-C stress on the post-churn placement: map surviving
+    # replicas onto the healthy sectors and let the greedy kernel corrupt
+    # an adversary_lambda fraction of the surviving capacity.
+    healthy_sectors = sorted(
+        sector_id
+        for sector_id in deployment.sector_map
+        if deployment.sector_is_healthy(sector_id)
+    )
+    sector_index = {sector_id: i for i, sector_id in enumerate(healthy_sectors)}
+    capacities = []
+    for sector_id in healthy_sectors:
+        record = protocol.sectors.get(sector_id)
+        capacities.append(float(record.capacity) if record is not None else 0.0)
+    placements = []
+    values = []
+    for descriptor in active:
+        replica_sectors = [
+            sector_index[sector_id]
+            for sector_id in protocol.file_locations(descriptor.file_id)
+            if sector_id in sector_index
+        ]
+        if replica_sectors:
+            placements.append(replica_sectors)
+            values.append(float(descriptor.value))
+    adversarial_loss = 0.0
+    if placements and sum(capacities) > 0:
+        adversary = GreedyCapacityAdversary(seed=seed, backend=str(task["backend"]))
+        outcome = adversary.attack(
+            capacities, placements, values, float(task["adversary_lambda"])  # type: ignore[arg-type]
+        )
+        adversarial_loss = outcome.value_loss_ratio
+
     snapshot = deployment.summary()
     return {
         "joins": joins,
@@ -153,6 +198,7 @@ def run_churn_trial(task: Mapping[str, object]) -> Dict[str, object]:
         "files_lost": int(snapshot["files_lost"]),
         "retrievable_fraction": round(retrievable / max(1, len(active)), 4) if active else 0.0,
         "replica_health": round(replica_health_total / max(1, len(active)), 4),
+        "adversarial_loss": round(adversarial_loss, 4),
         "value_compensated": snapshot["value_compensated"],
         "healthy_providers": int(snapshot["healthy_providers"]),
         "providers": int(snapshot["providers"]),
@@ -173,6 +219,7 @@ def _aggregate(rows, params):
                 "files_lost",
                 "retrievable_fraction",
                 "replica_health",
+                "adversarial_loss",
                 "value_compensated",
             ),
         ),

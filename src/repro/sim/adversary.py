@@ -12,17 +12,21 @@ arbitrarily.  Two strategies are provided:
 
 Both operate either on a :class:`FileInsurerProtocol` instance (corrupting
 its sectors) or on a plain placement map, which is what the Monte-Carlo
-robustness experiments use for speed.
+robustness experiments use for speed.  The greedy selection loop is one
+of the backend-dispatched simulation kernels (:mod:`repro.kernels`):
+``reference`` is the readable rescan-per-pick loop, ``vectorized`` keeps
+the finishing-value scores incrementally and picks with one masked
+argmax per corruption -- both choose identical sector sets.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from repro.crypto.prng import DeterministicPRNG
+from repro.kernels import KernelBackend, get_backend
 
 __all__ = [
     "CorruptionOutcome",
@@ -148,12 +152,24 @@ class GreedyCapacityAdversary:
     Iteratively scores each healthy sector by the value of files it would
     *finish off* (files whose every other replica is already corrupted),
     falling back to the count of hosted replicas, and corrupts the best
-    sector that still fits the budget.  This models a strategic adversary
-    and upper-bounds what random failures achieve at the same budget.
+    sector that still fits the budget (ties resolve to the lowest sector
+    index).  This models a strategic adversary and upper-bounds what
+    random failures achieve at the same budget.
+
+    The selection loop is a :mod:`repro.kernels` kernel: ``backend``
+    picks the implementation (``"reference"`` / ``"vectorized"`` / a
+    :class:`~repro.kernels.KernelBackend`; default the ambient backend),
+    and every backend returns the same sector set for the same inputs.
     """
 
-    def __init__(self, seed: int = 17) -> None:
+    def __init__(
+        self,
+        seed: int = 17,
+        backend: Optional[Union[str, KernelBackend]] = None,
+    ) -> None:
         self._rng = np.random.default_rng(seed)
+        self.kernels = get_backend(backend)
+        self.backend = self.kernels.name
 
     def choose_sectors(
         self,
@@ -166,45 +182,8 @@ class GreedyCapacityAdversary:
         if not 0 <= budget_fraction <= 1:
             raise ValueError("budget_fraction must lie in [0, 1]")
         caps = np.asarray(capacities, dtype=float)
-        n_sectors = len(caps)
         budget = budget_fraction * float(caps.sum())
-
-        # sector -> list of (file_index, replica_multiplicity in that sector)
-        hosted: List[Dict[int, int]] = [dict() for _ in range(n_sectors)]
-        remaining_healthy: List[int] = []
-        for file_index, sectors in enumerate(placements):
-            distinct = set(sectors)
-            remaining_healthy.append(len(distinct))
-            for sector in distinct:
-                hosted[sector][file_index] = hosted[sector].get(file_index, 0) + 1
-
-        chosen: Set[int] = set()
-        spent = 0.0
-        candidates = set(range(n_sectors))
-        while candidates:
-            best_sector = None
-            best_score = (-1.0, -1.0)
-            for sector in candidates:
-                if spent + caps[sector] > budget + 1e-9:
-                    continue
-                finishing_value = 0.0
-                replica_count = 0
-                for file_index in hosted[sector]:
-                    replica_count += 1
-                    if remaining_healthy[file_index] == 1:
-                        finishing_value += values[file_index]
-                score = (finishing_value, float(replica_count) / max(caps[sector], 1e-12))
-                if score > best_score:
-                    best_score = score
-                    best_sector = sector
-            if best_sector is None:
-                break
-            candidates.discard(best_sector)
-            chosen.add(best_sector)
-            spent += caps[best_sector]
-            for file_index in hosted[best_sector]:
-                remaining_healthy[file_index] -= 1
-        return chosen
+        return self.kernels.greedy_select(caps, placements, values, budget)
 
     def attack(
         self,

@@ -1,4 +1,4 @@
-"""Vectorised replica-placement engine for the Table III experiments.
+"""Replica-placement engine for the Table III experiments.
 
 The paper's numerical experiments (Section V-B2, Table III) measure the
 *maximum ratio of capacity usage* over all sectors when ``Ncp`` file
@@ -12,21 +12,51 @@ selection, under two settings:
    sector, reporting the maximum usage ratio observed.
 
 Total sector capacity equals twice the total backup size (the redundant
-capacity assumption), and here all sectors have equal capacity.  The
-engine is vectorised with numpy so the larger grid rows remain feasible in
-pure Python.
+capacity assumption), and here all sectors have equal capacity.
+
+The inner loops live in :mod:`repro.kernels` behind a backend seam: the
+``reference`` backend is the readable per-move loop, the default
+``vectorized`` backend reproduces it bit-for-bit with grouped numpy scans
+(see ``docs/performance.md``).  The engine is deliberately
+batch-size-invariant: refresh moves draw from dedicated RNG streams and
+``mean_usage`` / ``overflow_rounds`` are sampled on a fixed refresh
+cadence (every ``sample_interval`` moves, default ``Ncp``), so changing
+``batch_size`` changes memory use and wall time but never a reported
+number.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.kernels import KernelBackend, get_backend
 from repro.sim.workload import FileSizeDistribution, WorkloadGenerator
 
 __all__ = ["PlacementResult", "PlacementExperiment"]
+
+#: Domain-separation constants for the refresh-move RNG streams.  Keeping
+#: the backup-choice and target-choice draws on independent streams (not
+#: interleaved batch by batch) is what makes results batch-size-invariant.
+_CHOSEN_STREAM = 1
+_TARGET_STREAM = 2
+
+
+def _draw_dtype(upper: int) -> np.dtype:
+    """Narrowest *chunk-invariant* dtype for uniform draws in ``[0, upper)``.
+
+    32- and 64-bit bounded draws consume the bit-generator stream one
+    word at a time with any spare half-word buffered in the generator
+    state, so splitting one draw of ``n`` values into several smaller
+    draws yields the same values.  8- and 16-bit draws use a call-local
+    buffer and are *not* split-invariant -- never use them here, or
+    ``batch_size`` would change the refresh stream.
+    """
+    if upper - 1 <= np.iinfo(np.uint32).max:
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
 
 
 @dataclass(frozen=True)
@@ -57,11 +87,26 @@ class PlacementResult:
 
 
 class PlacementExperiment:
-    """Monte-Carlo replica placement with equal-capacity sectors."""
+    """Monte-Carlo replica placement with equal-capacity sectors.
 
-    def __init__(self, seed: int = 0) -> None:
+    ``backend`` selects the simulation-kernel implementation: a
+    :class:`~repro.kernels.KernelBackend`, a registered name
+    (``"reference"`` / ``"vectorized"``), or ``None`` / ``"auto"`` for the
+    ambient default (``$REPRO_KERNEL_BACKEND``, else ``vectorized``).
+    Results are identical across backends for identical seeds.
+    """
+
+    def __init__(
+        self, seed: int = 0, backend: Optional[Union[str, KernelBackend]] = None
+    ) -> None:
         self.seed = seed
+        self.kernels = get_backend(backend)
+        self.backend = self.kernels.name
         self._rng = np.random.default_rng(seed)
+        # Per-call counter mixed into the refresh-move stream keys so
+        # successive run_refresh calls on one experiment (e.g. the five
+        # distributions of a sweep) draw independent move sequences.
+        self._refresh_calls = 0
 
     # ------------------------------------------------------------------
     # Core placement primitives
@@ -70,14 +115,6 @@ class PlacementExperiment:
         """Equal per-sector capacity under the redundant-capacity assumption."""
         total = float(sizes.sum())
         return 2.0 * total / n_sectors
-
-    def _usage_after_allocation(
-        self, sizes: np.ndarray, n_sectors: int
-    ) -> np.ndarray:
-        """Randomly place every backup and return per-sector used space."""
-        assignments = self._rng.integers(0, n_sectors, sizes.shape[0])
-        usage = np.bincount(assignments, weights=sizes, minlength=n_sectors)
-        return usage
 
     # ------------------------------------------------------------------
     # Experiment settings
@@ -100,7 +137,7 @@ class PlacementExperiment:
         mean_acc = 0.0
         overflow_rounds = 0
         for _ in range(rounds):
-            usage = self._usage_after_allocation(sizes, n_sectors)
+            _, usage = self.kernels.place_backups(self._rng, sizes, n_sectors)
             ratio = usage / capacity
             round_max = float(ratio.max())
             max_usage = max(max_usage, round_max)
@@ -125,47 +162,88 @@ class PlacementExperiment:
         n_sectors: int,
         refresh_multiplier: int = 100,
         batch_size: int = 1_000_000,
+        sample_interval: Optional[int] = None,
     ) -> PlacementResult:
         """Setting 2: place once, then refresh ``refresh_multiplier * Ncp`` backups.
 
         Each refresh moves a uniformly random backup to a freshly sampled
-        sector.  Sector usage is updated incrementally; the maximum usage
-        ratio over the whole churn is reported.  Refreshes are processed in
-        batches to bound memory while staying vectorised.
+        sector; the kernel updates sector usage incrementally and tracks
+        the running maximum, which is reported as ``max_usage`` over the
+        whole churn.
+
+        ``mean_usage`` and ``overflow_rounds`` are sampled every
+        ``sample_interval`` refreshes (default ``n_backups``, i.e. once
+        per paper "round") plus once after the initial placement.
+        ``batch_size`` only bounds memory: the backup-choice and
+        target-sector draws come from dedicated RNG streams and the
+        kernels apply moves as sequential per-sector additions, so every
+        reported number is invariant under re-batching -- a serial run
+        (``batch_size=1``) reproduces a batched run bit-for-bit.
         """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if sample_interval is None:
+            sample_interval = n_backups
+        if sample_interval < 1:
+            raise ValueError("sample_interval must be >= 1")
         workload = WorkloadGenerator(seed=self.seed)
         sizes = workload.backup_sizes(distribution, n_backups)
         capacity = self._sector_capacity(sizes, n_sectors)
-        assignments = self._rng.integers(0, n_sectors, n_backups)
-        usage = np.bincount(assignments, weights=sizes, minlength=n_sectors).astype(float)
+        assignments, usage = self.kernels.place_backups(self._rng, sizes, n_sectors)
+        # Sector ids fit a narrow dtype; shrinking the assignment vector
+        # speeds up every kernel gather/scatter against it.
+        assignments = assignments.astype(_draw_dtype(n_sectors), copy=False)
 
-        max_usage = float(usage.max()) / capacity
+        max_abs = float(usage.max())
         mean_acc = float(usage.mean()) / capacity
         samples = 1
-        overflow_rounds = 1 if max_usage > 1.0 else 0
+        overflow_rounds = 1 if max_abs / capacity > 1.0 else 0
+
+        call_index = self._refresh_calls
+        self._refresh_calls += 1
+        chosen_rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(_CHOSEN_STREAM, call_index)
+            )
+        )
+        target_rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(_TARGET_STREAM, call_index)
+            )
+        )
+        # Narrow draw dtypes speed up both the draws and every kernel
+        # gather; the streams stay chunk-invariant within a dtype, which
+        # depends only on (n_backups, n_sectors), never on batch_size.
+        chosen_dtype = _draw_dtype(n_backups)
+        target_dtype = _draw_dtype(n_sectors)
 
         total_refreshes = refresh_multiplier * n_backups
-        remaining = total_refreshes
-        while remaining > 0:
-            batch = min(batch_size, remaining)
-            remaining -= batch
-            chosen = self._rng.integers(0, n_backups, batch)
-            targets = self._rng.integers(0, n_sectors, batch)
-            for backup_index, target in zip(chosen, targets):
-                size = sizes[backup_index]
-                source = assignments[backup_index]
-                if source == target:
-                    continue
-                usage[source] -= size
-                usage[target] += size
-                assignments[backup_index] = target
-                new_ratio = usage[target] / capacity
-                if new_ratio > max_usage:
-                    max_usage = new_ratio
-            mean_acc += float(usage.mean()) / capacity
-            samples += 1
-            if float(usage.max()) / capacity > 1.0:
-                overflow_rounds += 1
+        done = 0
+        while done < total_refreshes:
+            chunk = min(batch_size, total_refreshes - done)
+            chosen = chosen_rng.integers(0, n_backups, chunk, dtype=chosen_dtype)
+            targets = target_rng.integers(0, n_sectors, chunk, dtype=target_dtype)
+            # Sample boundaries falling inside this batch: every multiple
+            # of the cadence, plus the very end of a partial last interval.
+            bounds = list(
+                range(
+                    (done // sample_interval + 1) * sample_interval - done,
+                    chunk + 1,
+                    sample_interval,
+                )
+            )
+            if done + chunk == total_refreshes and (not bounds or bounds[-1] != chunk):
+                bounds.append(chunk)
+            batch_max, snapshots = self.kernels.refresh_moves(
+                sizes, usage, assignments, chosen, targets, snapshot_after=bounds
+            )
+            max_abs = max(max_abs, batch_max)
+            done += chunk
+            for snapshot in snapshots:
+                mean_acc += float(snapshot.mean()) / capacity
+                samples += 1
+                if float(snapshot.max()) / capacity > 1.0:
+                    overflow_rounds += 1
 
         return PlacementResult(
             distribution=distribution,
@@ -173,7 +251,7 @@ class PlacementExperiment:
             n_backups=n_backups,
             n_sectors=n_sectors,
             rounds=total_refreshes,
-            max_usage=max_usage,
+            max_usage=max_abs / capacity,
             mean_usage=mean_acc / samples,
             overflow_rounds=overflow_rounds,
         )
@@ -188,6 +266,7 @@ class PlacementExperiment:
         mode: str = "reallocate",
         rounds: int = 100,
         refresh_multiplier: int = 100,
+        sample_interval: Optional[int] = None,
     ) -> List[PlacementResult]:
         """Run one mode over a ``(Ncp, Ns)`` grid for several distributions."""
         if mode not in ("reallocate", "refresh"):
@@ -207,6 +286,7 @@ class PlacementExperiment:
                             n_backups,
                             n_sectors,
                             refresh_multiplier=refresh_multiplier,
+                            sample_interval=sample_interval,
                         )
                     )
         return results

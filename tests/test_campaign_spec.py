@@ -180,3 +180,40 @@ class TestPlanCampaign:
         data["scenarios"][0]["sweep"] = {"scale": [2]}
         (cell,) = plan_campaign(parse_campaign(data))
         assert cell.label == "camp-alpha[scale=2][seed=0]"
+
+
+class TestMatrixCampaign:
+    def test_matrix_builds_one_axis_sweep(self):
+        from repro.campaign.spec import matrix_campaign
+
+        spec = matrix_campaign("table3:rounds=20,50", seed=3)
+        assert spec.name == "matrix-table3-rounds"
+        assert spec.cell_count() == 2
+        (entry,) = spec.entries
+        assert entry.scenario == "table3"
+        assert entry.sweep == {"rounds": ("20", "50")}
+        assert entry.seeds == (3,)
+
+    def test_matrix_cells_resolve_through_planner(self, campaign_scenarios):
+        from repro.campaign.spec import matrix_campaign
+
+        cells = plan_campaign(matrix_campaign("camp-alpha:scale=5,6"))
+        assert [cell.params["scale"] for cell in cells] == [5, 6]
+        assert [cell.sweep_point for cell in cells] == [{"scale": 5}, {"scale": 6}]
+
+    def test_matrix_whitespace_and_empty_values_trimmed(self):
+        from repro.campaign.spec import matrix_campaign
+
+        spec = matrix_campaign(" camp-alpha : scale = 1 , ,2 ")
+        (entry,) = spec.entries
+        assert entry.scenario == "camp-alpha"
+        assert entry.sweep == {"scale": ("1", "2")}
+
+    def test_matrix_rejects_malformed_input(self):
+        from repro.campaign.spec import matrix_campaign
+
+        for bad in ("", "x", "x:", "x:y", "x:y=", ":y=1", "x:=1"):
+            with pytest.raises(CampaignError, match="--matrix expects"):
+                matrix_campaign(bad)
+        with pytest.raises(CampaignError, match="non-negative"):
+            matrix_campaign("x:y=1", seed=-1)

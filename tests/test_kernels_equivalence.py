@@ -1,0 +1,307 @@
+"""Cross-backend equivalence gates for the simulation-kernel layer.
+
+The :mod:`repro.kernels` contract is *bit*-equivalence: for identical
+seeds and shapes, the ``reference`` oracle loops and the ``vectorized``
+numpy kernels must produce identical ``PlacementResult`` fields and
+identical greedy-adversary sector choices.  These tests sweep a
+seed/shape grid over both backends and additionally pin the refresh
+engine's batch-size invariance (the PR-4 metrics fix): ``batch_size``
+bounds memory only, so serial (``batch_size=1``) and batched runs must
+be byte-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    KernelBackend,
+    KernelError,
+    available_backends,
+    get_backend,
+    resolve_backend_name,
+)
+from repro.sim.adversary import GreedyCapacityAdversary
+from repro.sim.placement import PlacementExperiment
+from repro.sim.workload import FileSizeDistribution
+
+BACKENDS = ("reference", "vectorized")
+
+#: (n_backups, n_sectors) shapes covering tiny, skewed and the vectorized
+#: kernel's two replay layouts (segment loop below 1024 groups, padded
+#: table above).
+REFRESH_SHAPES = ((300, 3), (500, 7), (2000, 40), (600, 1500))
+
+
+class TestBackendRegistry:
+    def test_available_backends(self):
+        assert available_backends() == ["reference", "vectorized"]
+
+    def test_default_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert DEFAULT_BACKEND == "vectorized"
+        assert get_backend().name == "vectorized"
+        assert resolve_backend_name("auto") == "vectorized"
+        assert resolve_backend_name("") == "vectorized"
+        assert resolve_backend_name(None) == "vectorized"
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert get_backend().name == "reference"
+        assert resolve_backend_name("auto") == "reference"
+        # An explicit name always wins over the environment.
+        assert get_backend("vectorized").name == "vectorized"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with pytest.raises(KernelError, match="unknown kernel backend"):
+            get_backend("numba")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gpu")
+        with pytest.raises(KernelError, match="known backends"):
+            get_backend()
+
+    def test_instance_passthrough(self):
+        backend = get_backend("reference")
+        assert get_backend(backend) is backend
+        assert isinstance(backend, KernelBackend)
+
+    def test_experiment_records_backend_name(self):
+        assert PlacementExperiment(backend="reference").backend == "reference"
+        assert GreedyCapacityAdversary(backend="vectorized").backend == "vectorized"
+
+
+class TestPlacementKernelEquivalence:
+    def test_place_backups_bit_identical(self):
+        sizes = np.random.default_rng(11).exponential(1.0, 5000)
+        results = {}
+        for name in BACKENDS:
+            rng = np.random.default_rng(42)
+            results[name] = get_backend(name).place_backups(rng, sizes, 37)
+        assert np.array_equal(results["reference"][0], results["vectorized"][0])
+        # Bit-identical usage, not merely close: bincount accumulates in
+        # input order, exactly like the reference loop.
+        assert np.array_equal(results["reference"][1], results["vectorized"][1])
+
+    @pytest.mark.parametrize("distribution", list(FileSizeDistribution))
+    def test_run_reallocate_identical_results(self, distribution):
+        results = [
+            PlacementExperiment(seed=5, backend=name).run_reallocate(
+                distribution, 2000, 25, rounds=3
+            )
+            for name in BACKENDS
+        ]
+        assert results[0] == results[1]
+
+    @pytest.mark.parametrize("shape", REFRESH_SHAPES)
+    @pytest.mark.parametrize("seed", (0, 7))
+    def test_run_refresh_identical_results(self, shape, seed):
+        n_backups, n_sectors = shape
+        results = [
+            PlacementExperiment(seed=seed, backend=name).run_refresh(
+                FileSizeDistribution.EXPONENTIAL,
+                n_backups,
+                n_sectors,
+                refresh_multiplier=3,
+            )
+            for name in BACKENDS
+        ]
+        # Frozen-dataclass equality covers every field, including the
+        # floats, which must match to the last bit.
+        assert results[0] == results[1]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_refresh_batch_size_invariance(self, backend):
+        """Regression gate for the PR-4 metrics fix: re-batching must not
+        change any reported number, including the once-per-batch-sampled
+        ``mean_usage``/``overflow_rounds``."""
+        reference_result = None
+        for batch_size in (1, 13, 400, 10**6):
+            result = PlacementExperiment(seed=3, backend=backend).run_refresh(
+                FileSizeDistribution.UNIFORM_0_1,
+                700,
+                9,
+                refresh_multiplier=3,
+                batch_size=batch_size,
+            )
+            if reference_result is None:
+                reference_result = result
+            assert result == reference_result, f"batch_size={batch_size} drifted"
+
+    def test_serial_vs_batched_refresh_identity_across_backends(self):
+        """The strongest combined gate: serial reference (one move at a
+        time) equals fully-batched vectorized, bit for bit."""
+        serial = PlacementExperiment(seed=9, backend="reference").run_refresh(
+            FileSizeDistribution.NORMAL_MU_EQ_VAR, 500, 11,
+            refresh_multiplier=2, batch_size=1,
+        )
+        batched = PlacementExperiment(seed=9, backend="vectorized").run_refresh(
+            FileSizeDistribution.NORMAL_MU_EQ_VAR, 500, 11,
+            refresh_multiplier=2, batch_size=10**6,
+        )
+        assert serial == batched
+
+    def test_skew_split_fallback_is_bit_identical(self, monkeypatch):
+        """Force the vectorized kernel's pathological-skew half-batch
+        split and assert it still matches the reference loop exactly --
+        including the source resolution of backups whose moves straddle
+        the split point."""
+        import repro.kernels.vectorized as vectorized_module
+
+        monkeypatch.setattr(vectorized_module, "_GROUP_LOOP_MAX", 0)
+        monkeypatch.setattr(vectorized_module, "_MAX_TABLE_CELLS", 8)
+        results = [
+            PlacementExperiment(seed=4, backend=name).run_refresh(
+                FileSizeDistribution.EXPONENTIAL, 200, 6, refresh_multiplier=4
+            )
+            for name in BACKENDS
+        ]
+        assert results[0] == results[1]
+
+    def test_sample_interval_controls_sampling(self):
+        """A finer cadence samples more often; both backends agree."""
+        results = {}
+        for name in BACKENDS:
+            results[name] = PlacementExperiment(seed=2, backend=name).run_refresh(
+                FileSizeDistribution.EXPONENTIAL, 400, 5,
+                refresh_multiplier=2, sample_interval=150,
+            )
+        assert results["reference"] == results["vectorized"]
+
+    def test_successive_refresh_calls_draw_independent_streams(self):
+        """Five distributions swept on one experiment must not replay one
+        churn realization; and the per-call streams must still agree
+        across backends."""
+        per_backend = {}
+        for name in BACKENDS:
+            experiment = PlacementExperiment(seed=6, backend=name)
+            per_backend[name] = [
+                experiment.run_refresh(
+                    FileSizeDistribution.EXPONENTIAL, 800, 10, refresh_multiplier=2
+                )
+                for _ in range(2)
+            ]
+        first_call, second_call = per_backend["reference"]
+        assert first_call.max_usage != second_call.max_usage
+        assert per_backend["reference"] == per_backend["vectorized"]
+
+    def test_refresh_rejects_bad_knobs(self):
+        experiment = PlacementExperiment(seed=0)
+        with pytest.raises(ValueError):
+            experiment.run_refresh(
+                FileSizeDistribution.EXPONENTIAL, 100, 4, batch_size=0
+            )
+        with pytest.raises(ValueError):
+            experiment.run_refresh(
+                FileSizeDistribution.EXPONENTIAL, 100, 4, sample_interval=0
+            )
+
+
+def _greedy_workload(seed, n_sectors, n_files, replicas, equal_caps=False):
+    rng = np.random.default_rng(seed)
+    placements = [
+        list(rng.integers(0, n_sectors, replicas)) for _ in range(n_files)
+    ]
+    values = [float(v) for v in rng.integers(1, 6, n_files)]
+    if equal_caps:
+        capacities = [1.0] * n_sectors
+    else:
+        capacities = [float(c) for c in rng.integers(1, 4, n_sectors)]
+    return capacities, placements, values
+
+
+class TestGreedyKernelEquivalence:
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    @pytest.mark.parametrize(
+        "shape",
+        ((30, 150, 2), (60, 400, 3), (120, 500, 5)),
+    )
+    @pytest.mark.parametrize("budget", (0.2, 0.5))
+    def test_choose_sectors_identical(self, seed, shape, budget):
+        n_sectors, n_files, replicas = shape
+        capacities, placements, values = _greedy_workload(
+            seed, n_sectors, n_files, replicas
+        )
+        chosen = [
+            GreedyCapacityAdversary(seed=seed, backend=name).choose_sectors(
+                capacities, placements, values, budget
+            )
+            for name in BACKENDS
+        ]
+        assert chosen[0] == chosen[1]
+
+    def test_attack_outcomes_identical(self):
+        capacities, placements, values = _greedy_workload(4, 50, 300, 3, equal_caps=True)
+        outcomes = [
+            GreedyCapacityAdversary(seed=4, backend=name).attack(
+                capacities, placements, values, 0.4
+            )
+            for name in BACKENDS
+        ]
+        assert outcomes[0] == outcomes[1]
+
+    def test_edge_cases_agree(self):
+        for name in BACKENDS:
+            adversary = GreedyCapacityAdversary(backend=name)
+            # Zero budget corrupts nothing on either backend.
+            assert adversary.choose_sectors([1.0] * 5, [[0, 1]], [1.0], 0.0) == set()
+            # Files with empty placements never finish anything.
+            assert adversary.choose_sectors(
+                [1.0] * 3, [[], [0]], [5.0, 1.0], 1.0
+            ) == {0, 1, 2}
+
+
+class TestScenarioBackendThreading:
+    def test_resolve_params_concretises_auto(self, monkeypatch):
+        from repro.runner.registry import get_scenario, load_builtin_scenarios, resolve_params
+
+        load_builtin_scenarios()
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        for scenario_name in ("table3", "robustness", "churn"):
+            params = resolve_params(get_scenario(scenario_name))
+            assert params["backend"] == "vectorized"
+            params = resolve_params(
+                get_scenario(scenario_name), {"backend": "reference"}
+            )
+            assert params["backend"] == "reference"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert resolve_params(get_scenario("table3"))["backend"] == "reference"
+
+    def test_resolve_params_rejects_unknown_backend(self):
+        from repro.runner.registry import (
+            ScenarioError,
+            get_scenario,
+            load_builtin_scenarios,
+            resolve_params,
+        )
+
+        load_builtin_scenarios()
+        with pytest.raises(ScenarioError, match="backend"):
+            resolve_params(get_scenario("table3"), {"backend": "cuda"})
+
+    def test_manifests_record_concrete_backend_and_rows_match(self, monkeypatch):
+        from repro.runner.executor import run_scenario
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        overrides = {
+            "lambdas": (0.5,),
+            "n_sectors": 60,
+            "n_files": 80,
+            "k": 3,
+            "trials": 2,
+        }
+        manifests = {
+            name: run_scenario(
+                "robustness", {**overrides, "backend": name}, seed=5
+            )
+            for name in BACKENDS
+        }
+        for name in BACKENDS:
+            assert manifests[name].params["backend"] == name
+        # Identical trial rows: the backend changes speed, never results.
+        assert [
+            {key: value for key, value in row.items()}
+            for row in manifests["reference"].rows
+        ] == [dict(row) for row in manifests["vectorized"].rows]

@@ -126,3 +126,123 @@ class TestBench:
         out = capsys.readouterr().out
         assert "per-trial rows identical: True" in out
         assert "speedup=" in out
+
+
+class TestBackendFlag:
+    def test_backend_flag_lands_in_manifest(self, tmp_path, capsys):
+        out_path = tmp_path / "robust.json"
+        code = main(
+            [
+                "run", "robustness", "--quiet", "--backend", "reference",
+                "--set", "lambdas=0.5", "--set", "n_sectors=50",
+                "--set", "n_files=60", "--set", "k=3", "--set", "trials=1",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        manifest = json.loads(out_path.read_text())
+        assert manifest["params"]["backend"] == "reference"
+
+    def test_auto_resolves_to_concrete_backend(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        out_path = tmp_path / "robust.json"
+        code = main(
+            [
+                "run", "robustness", "--quiet",
+                "--set", "lambdas=0.5", "--set", "n_sectors=50",
+                "--set", "n_files=60", "--set", "k=3", "--set", "trials=1",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert json.loads(out_path.read_text())["params"]["backend"] == "vectorized"
+
+    def test_backend_flag_conflicting_with_set_is_an_error(self, capsys):
+        code = main(
+            ["run", "robustness", "--backend", "reference",
+             "--set", "backend=vectorized"]
+        )
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_unknown_backend_is_an_error(self, capsys):
+        assert main(["run", "robustness", "--backend", "cuda"]) == 2
+        assert "unknown kernel backend" in capsys.readouterr().err
+
+    def test_backend_flag_on_scenario_without_backend_param(self, capsys):
+        assert main(["run", "deposit", "--backend", "reference"]) == 2
+        assert "no parameter 'backend'" in capsys.readouterr().err
+
+
+class TestCampaignMatrix:
+    def _register_toy(self):
+        from repro.runner.registry import register
+
+        from campaign_testlib import campaign_test_specs
+
+        for spec in campaign_test_specs():
+            register(spec, replace=True)
+
+    def test_matrix_expands_and_runs(self, tmp_path, capsys):
+        self._register_toy()
+        code = main(
+            ["campaign", "run", "--matrix", "camp-alpha:scale=1,2,3",
+             "--store", str(tmp_path / "store")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign=matrix-camp-alpha-scale" in out
+        assert "cells=3" in out
+        assert out.count("[run ]") == 3
+
+    def test_matrix_with_seed_and_cache_hits(self, tmp_path, capsys):
+        self._register_toy()
+        store = str(tmp_path / "store")
+        args = ["campaign", "run", "--matrix", "camp-alpha:scale=2,4",
+                "--seed", "9", "--store", store]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cache_hits=2/2" in out
+
+    def test_matrix_validates_against_registry(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "run", "--matrix", "table3:bogus=1,2",
+             "--store", str(tmp_path / "store")]
+        )
+        assert code == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_matrix_unknown_scenario_is_an_error(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "run", "--matrix", "nope:x=1",
+             "--store", str(tmp_path / "store")]
+        )
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_matrix_bad_syntax_is_an_error(self, capsys):
+        for bad in ("camp-alpha", "camp-alpha:scale", "camp-alpha:scale=",
+                    ":scale=1", "camp-alpha:=1"):
+            assert main(["campaign", "run", "--matrix", bad]) == 2
+            assert "--matrix expects" in capsys.readouterr().err
+
+    def test_spec_and_matrix_together_is_an_error(self, capsys):
+        code = main(
+            ["campaign", "run", "examples/table3_campaign.toml",
+             "--matrix", "camp-alpha:scale=1"]
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_neither_spec_nor_matrix_is_an_error(self, capsys):
+        assert main(["campaign", "run"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_seed_with_spec_file_is_an_error(self, capsys):
+        code = main(
+            ["campaign", "run", "examples/table3_campaign.toml", "--seed", "3"]
+        )
+        assert code == 2
+        assert "--seed only applies" in capsys.readouterr().err
