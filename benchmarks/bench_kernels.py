@@ -1,14 +1,15 @@
 """Kernel benchmark artifact: reference vs vectorized, as JSON.
 
-Times the two extracted hot loops -- Table III refresh churn and the
-Section V-C greedy adversary -- on both :mod:`repro.kernels` backends at
-the pinned benchmark shapes (defined once in :mod:`kernel_shapes`,
-shared with the pytest gates), verifies the backends agree (identical
-``PlacementResult`` / identical chosen sector sets), and writes a
-machine-readable ``BENCH_kernels.json`` for the CI `bench-smoke` job to
-upload.  Exits non-zero when the vectorized backend is not faster than
-reference on either kernel, or when the refresh speedup misses the
-acceptance bar.
+Times the three extracted hot loops -- Table III refresh churn, the
+Section V-C greedy adversary, and ``RandomSector()`` batched weighted
+draws -- on both :mod:`repro.kernels` backends at the pinned benchmark
+shapes (defined once in :mod:`kernel_shapes`, shared with the pytest
+gates), verifies the backends agree (identical ``PlacementResult`` /
+identical chosen sector sets / identical drawn-key sequences), and
+writes a machine-readable ``BENCH_kernels.json`` for the CI
+`bench-smoke` job to upload.  Exits non-zero when the vectorized backend
+is not faster than reference on any kernel, or when the refresh or
+sampler speedup misses its acceptance bar.
 
 Usage::
 
@@ -34,12 +35,18 @@ from kernel_shapes import (  # noqa: E402
     ADVERSARY_N_SECTORS,
     ADVERSARY_REPLICAS,
     MIN_REFRESH_SPEEDUP,
+    MIN_SAMPLER_SPEEDUP,
     REFRESH_MULTIPLIER,
     REFRESH_N_BACKUPS,
     REFRESH_N_SECTORS,
+    SAMPLER_DRAWS,
+    SAMPLER_N_SLOTS,
+    SAMPLER_PLACES,
+    SAMPLER_SEGMENTS,
     best_wall,
     run_greedy,
     run_refresh,
+    run_sampler,
 )
 
 
@@ -58,9 +65,16 @@ def main(argv=None) -> int:
     assert run_greedy("reference") == run_greedy("vectorized"), (
         "greedy kernels disagree between backends"
     )
+    assert run_sampler("reference") == run_sampler("vectorized"), (
+        "batch_weighted_draw kernels disagree between backends"
+    )
 
     results: Dict[str, Dict[str, float]] = {}
-    for kernel, run in (("refresh", run_refresh), ("greedy_adversary", run_greedy)):
+    for kernel, run in (
+        ("refresh", run_refresh),
+        ("greedy_adversary", run_greedy),
+        ("batch_weighted_draw", run_sampler),
+    ):
         walls = {
             backend: best_wall(lambda: run(backend), args.repeats)
             for backend in ("reference", "vectorized")
@@ -84,11 +98,18 @@ def main(argv=None) -> int:
                 "replicas": ADVERSARY_REPLICAS,
                 "budget": ADVERSARY_BUDGET,
             },
+            "batch_weighted_draw": {
+                "n_slots": SAMPLER_N_SLOTS,
+                "draws": SAMPLER_DRAWS,
+                "weight_updates": SAMPLER_SEGMENTS,
+                "places": SAMPLER_PLACES,
+            },
         },
         "results": results,
         "acceptance": {
             "refresh_min_speedup": MIN_REFRESH_SPEEDUP,
             "greedy_min_speedup": 1.0,
+            "sampler_min_speedup": MIN_SAMPLER_SPEEDUP,
         },
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -116,6 +137,12 @@ def main(argv=None) -> int:
         failed.append(
             "greedy_adversary: vectorized is not faster than reference "
             f"({results['greedy_adversary']['speedup']}x)"
+        )
+    if results["batch_weighted_draw"]["speedup"] < MIN_SAMPLER_SPEEDUP:
+        failed.append(
+            f"batch_weighted_draw speedup "
+            f"{results['batch_weighted_draw']['speedup']}x "
+            f"< {MIN_SAMPLER_SPEEDUP}x"
         )
     if failed:
         print("FAIL: " + "; ".join(failed), file=sys.stderr)

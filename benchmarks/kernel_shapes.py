@@ -40,6 +40,18 @@ ADVERSARY_N_FILES = 3_000
 ADVERSARY_REPLICAS = 4
 ADVERSARY_BUDGET = 0.4
 
+#: Weighted-sampler shape: a capacity table at Table-III-ish scale with
+#: draw batches interleaved with weight updates (the segment replays the
+#: vectorized engine must survive), plus a resample-on-full place tail.
+SAMPLER_N_SLOTS = 3_000
+SAMPLER_DRAWS = 48_000
+SAMPLER_SEGMENTS = 12
+SAMPLER_PLACES = 2_000
+
+#: Acceptance bar for the sampler kernel: vectorized batch draws must
+#: beat the Fenwick oracle by at least this factor at the pinned shape.
+MIN_SAMPLER_SPEEDUP = 2.0
+
 
 def run_refresh(backend: str) -> PlacementResult:
     """One measured round of the pinned refresh workload."""
@@ -68,6 +80,37 @@ def run_greedy(backend: str):
     capacities, placements, values = adversary_workload()
     adversary = GreedyCapacityAdversary(seed=1, backend=backend)
     return adversary.choose_sectors(capacities, placements, values, ADVERSARY_BUDGET)
+
+
+def sampler_workload():
+    """The pinned ``batch_weighted_draw`` inputs (weights, ops, free)."""
+    rng = np.random.default_rng(23)
+    weights = rng.integers(1, 1 << 20, SAMPLER_N_SLOTS).astype(np.int64)
+    ops = []
+    per_segment = SAMPLER_DRAWS // SAMPLER_SEGMENTS
+    for _ in range(SAMPLER_SEGMENTS):
+        ops.append(("draw", per_segment))
+        ops.append(
+            ("set", int(rng.integers(0, SAMPLER_N_SLOTS)), int(rng.integers(0, 1 << 20)))
+        )
+    ops.extend(("place", int(size), 4) for size in rng.integers(1, 64, SAMPLER_PLACES))
+    free = np.full(SAMPLER_N_SLOTS, 48, dtype=np.int64)
+    return weights, ops, free
+
+
+def run_sampler(backend: str) -> tuple:
+    """One full batched-draw replay at the pinned shape.
+
+    Returns hashable result fields so the artifact gate can assert
+    cross-backend equality before timing anything.
+    """
+    from repro.kernels import get_backend, sampler_stream
+
+    weights, ops, free = sampler_workload()
+    result = get_backend(backend).batch_weighted_draw(
+        sampler_stream(17, 0), weights, ops, free=free
+    )
+    return result.keys.tobytes(), result.attempts, result.collisions
 
 
 def best_wall(run: Callable[[], object], repeats: int = 3) -> float:

@@ -1,0 +1,63 @@
+"""Micro-benchmark: the ``batch_weighted_draw`` kernel.
+
+The ``RandomSector()`` weighted sampler became the dominant hot path of
+the end-to-end scenarios once refresh and adversary selection were
+vectorized; this gate pins its kernelisation the same way
+``test_bench_refresh.py`` pins the refresh loop:
+
+* ``test_sampler_throughput[reference|vectorized]`` -- the pinned draw
+  workload on each backend, reported as draws/second;
+* ``test_vectorized_sampler_speedup`` -- the acceptance gate: vectorized
+  batched draws must run the pinned shape at least
+  ``MIN_SAMPLER_SPEEDUP``x faster than the Fenwick oracle *while
+  returning identical key sequences, attempt and collision counts*.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_sampler.py -q``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from kernel_shapes import (
+    MIN_SAMPLER_SPEEDUP,
+    SAMPLER_DRAWS,
+    SAMPLER_PLACES,
+    best_wall,
+    run_sampler,
+)
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+def test_sampler_throughput(benchmark, backend, record):
+    result = benchmark.pedantic(lambda: run_sampler(backend), rounds=3, iterations=1)
+    keys, attempts, collisions = result
+    assert attempts >= SAMPLER_DRAWS + SAMPLER_PLACES
+    draws_per_second = attempts / benchmark.stats["min"]
+    record(
+        f"sampler draws/s [{backend}]",
+        f"{draws_per_second:,.0f}",
+        "n/a (engineering gate)",
+    )
+
+
+def test_vectorized_sampler_speedup(record):
+    assert run_sampler("reference") == run_sampler("vectorized"), (
+        "batch_weighted_draw backends disagree at the pinned shape"
+    )
+    reference_wall = best_wall(lambda: run_sampler("reference"))
+    vectorized_wall = best_wall(lambda: run_sampler("vectorized"))
+    speedup = reference_wall / vectorized_wall
+    if speedup < MIN_SAMPLER_SPEEDUP:  # one retry at higher N before failing
+        reference_wall = best_wall(lambda: run_sampler("reference"), repeats=5)
+        vectorized_wall = best_wall(lambda: run_sampler("vectorized"), repeats=5)
+        speedup = reference_wall / vectorized_wall
+    record(
+        "sampler vectorized speedup",
+        f"{speedup:.1f}x",
+        f">= {MIN_SAMPLER_SPEEDUP}x (acceptance gate)",
+    )
+    assert speedup >= MIN_SAMPLER_SPEEDUP, (
+        f"vectorized batch_weighted_draw is only {speedup:.2f}x faster than "
+        f"reference (required {MIN_SAMPLER_SPEEDUP}x)"
+    )

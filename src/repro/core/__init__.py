@@ -35,7 +35,7 @@ from repro.core.params import ProtocolParams
 from repro.core.pending import PendingList, PendingTask
 from repro.core.protocol import FileInsurerProtocol, ProtocolError, RefreshNotice
 from repro.core.sector import SectorRecord, SectorState
-from repro.core.selector import CapacitySelector, WeightedSampler
+from repro.core.selector import CapacitySelector, SamplerInvariantError, WeightedSampler
 from repro.core.subnetworks import SubnetworkRouter, ValueLevel
 
 __all__ = [
@@ -67,6 +67,7 @@ __all__ = [
     "SegmentedFile",
     "SubnetworkRouter",
     "ValueLevel",
+    "SamplerInvariantError",
     "WeightedSampler",
     "theorem1_max_storable_size",
     "theorem2_collision_probability_bound",

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.chain.gas import GasSchedule
 from repro.chain.ledger import InsufficientFundsError, Ledger
@@ -36,6 +36,7 @@ from repro.core.pending import PendingList, PendingTask
 from repro.core.sector import SectorRecord, SectorState
 from repro.core.selector import CapacitySelector
 from repro.crypto.prng import DeterministicPRNG
+from repro.kernels import KernelBackend
 
 __all__ = ["FileInsurerProtocol", "ProtocolError", "RefreshNotice"]
 
@@ -78,12 +79,21 @@ class FileInsurerProtocol:
         health_oracle: Optional[Callable[[str], bool]] = None,
         auto_prove: bool = False,
         charge_fees: bool = True,
+        backend: Optional[Union[str, KernelBackend]] = None,
     ) -> None:
         self.params = params or ProtocolParams.small_test()
         self.ledger = ledger or Ledger()
         self.prng = prng or DeterministicPRNG.from_int(2022, domain="fileinsurer-protocol")
         self.events = EventLog()
-        self.selector = CapacitySelector(self.prng.spawn("sector-selection"))
+        #: ``backend`` routes ``RandomSector()`` draws through the
+        #: backend-dispatched ``batch_weighted_draw`` kernel
+        #: (:mod:`repro.kernels`): sector choices stay deterministic in
+        #: the protocol seed and bit-identical across backends.  ``None``
+        #: keeps the original one-draw-at-a-time SHA-256 path.
+        self.selector = CapacitySelector(
+            self.prng.spawn("sector-selection"), backend=backend
+        )
+        self.backend = self.selector.backend
         self.fund = InsuranceFund(self.ledger)
         self.fees = FeeEngine(self.ledger, self.params, gas_schedule)
         self.pending = PendingList()
@@ -271,8 +281,20 @@ class FileInsurerProtocol:
             replicas=replica_count,
         )
 
+        # In kernel mode the whole replica set is placed with one
+        # batched kernel call; the kernel's private free-table debits
+        # mirror the record.reserve() below, so the batch is equivalent
+        # to drawing one replica at a time.
+        batched: Optional[List[Optional[str]]] = None
+        if self.selector.kernel_mode:
+            batched = self.selector.select_batch(
+                [size] * replica_count, self._free_capacity_if_accepting
+            )
         for index in range(replica_count):
-            sector_id = self._select_sector_with_space(size)
+            sector_id = (
+                batched[index] if batched is not None
+                else self._select_sector_with_space(size)
+            )
             if sector_id is None:
                 # Cannot place the replica anywhere: fail the upload.
                 self._remove_file(descriptor, reason="no capacity")

@@ -11,13 +11,35 @@ experiments (hundreds of millions of placements) feasible.
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Hashable, List, Optional, TypeVar
+from typing import Callable, Dict, Generic, Hashable, List, Optional, Sequence, TypeVar, Union
+
+import numpy as np
 
 from repro.crypto.prng import DeterministicPRNG
 
-__all__ = ["WeightedSampler", "CapacitySelector"]
+__all__ = ["SamplerInvariantError", "WeightedSampler", "CapacitySelector"]
 
 K = TypeVar("K", bound=Hashable)
+
+
+class SamplerInvariantError(RuntimeError):
+    """A Fenwick-tree draw landed on an empty slot.
+
+    This should be unreachable: it means the tree's prefix sums drifted
+    from the per-slot weights (a corrupted update, concurrent mutation,
+    or an out-of-range target).  The offending state rides along so the
+    failure is diagnosable from the exception alone.
+    """
+
+    def __init__(self, slot: int, target: int, weight: int, total: int) -> None:
+        self.slot = slot
+        self.target = target
+        self.weight = weight
+        self.total = total
+        super().__init__(
+            f"sampled empty slot {slot} (target {target}, slot weight {weight}, "
+            f"total weight {total}); Fenwick tree is inconsistent"
+        )
 
 
 class WeightedSampler(Generic[K]):
@@ -35,6 +57,7 @@ class WeightedSampler(Generic[K]):
         self._slots: Dict[K, int] = {}  # key -> slot
         self._free_slots: List[int] = []
         self._total: int = 0
+        self._weights_array: Optional[np.ndarray] = None  # slot_weights cache
 
     # ------------------------------------------------------------------
     # Fenwick internals
@@ -95,6 +118,7 @@ class WeightedSampler(Generic[K]):
         self._weights[slot] = weight
         self._total += delta
         self._update(slot, delta)
+        self._weights_array = None
 
     def remove(self, key: K) -> None:
         """Remove ``key`` from the sampler."""
@@ -105,6 +129,7 @@ class WeightedSampler(Generic[K]):
         self._total += delta
         self._update(slot, delta)
         self._free_slots.append(slot)
+        self._weights_array = None
 
     def update_weight(self, key: K, weight: int) -> None:
         """Change the weight of an existing key."""
@@ -117,6 +142,7 @@ class WeightedSampler(Generic[K]):
         self._weights[slot] = weight
         self._total += delta
         self._update(slot, delta)
+        self._weights_array = None
 
     def weight(self, key: K) -> int:
         """Current weight of ``key`` (0 if absent)."""
@@ -139,15 +165,45 @@ class WeightedSampler(Generic[K]):
         """All keys currently present."""
         return list(self._slots)
 
+    # ------------------------------------------------------------------
+    # Slot-level views (the kernel interface)
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        """Number of allocated slots (present keys plus recycled holes)."""
+        return len(self._weights)
+
+    def slot_weights(self) -> np.ndarray:
+        """Per-slot weights as ``int64`` -- the ``batch_weighted_draw`` table.
+
+        Recycled slots carry weight 0 and are therefore never drawn.  The
+        array is cached across draws (membership changes invalidate it)
+        and must not be mutated by callers; the kernels copy their inputs.
+        """
+        if self._weights_array is None:
+            self._weights_array = np.asarray(self._weights, dtype=np.int64)
+        return self._weights_array
+
+    def key_at(self, slot: int) -> Optional[K]:
+        """Key stored in ``slot`` (``None`` for a recycled slot)."""
+        return self._keys[slot]
+
     def sample(self, prng: DeterministicPRNG) -> K:
-        """Sample a key with probability proportional to its weight."""
+        """Sample a key with probability proportional to its weight.
+
+        ``prng`` only needs a ``randint(low, high)`` method; both the
+        protocol's SHA-256 stream and the kernels' uint32 adapter
+        (:class:`repro.kernels.sampling.U32Randint`) qualify.
+        """
         if self._total <= 0:
             raise ValueError("cannot sample from an empty or zero-weight sampler")
         target = prng.randint(0, self._total - 1)
         slot = self._find_slot(target)
         key = self._keys[slot]
-        if key is None:  # pragma: no cover - defensive, should be unreachable
-            raise RuntimeError("sampled an empty slot; Fenwick tree is inconsistent")
+        if key is None:
+            raise SamplerInvariantError(
+                slot=slot, target=target, weight=self._weights[slot], total=self._total
+            )
         return key
 
 
@@ -159,14 +215,75 @@ class CapacitySelector:
     the replica -- the "collision" event whose frequency Theorem 2 and the
     Table III experiments bound.  Collisions are counted so experiments can
     report them.
+
+    Two draw engines share the Fenwick membership bookkeeping:
+
+    * **legacy** (``backend=None``): every draw hashes the protocol's
+      SHA-256 :class:`DeterministicPRNG` stream through
+      :meth:`WeightedSampler.sample` -- the original, one-at-a-time path;
+    * **kernel mode** (``backend`` given): draws go through the
+      backend-dispatched ``batch_weighted_draw`` kernel
+      (:mod:`repro.kernels`) on dedicated per-call uint32 streams whose
+      entropy is derived once from ``prng``, so a deployment is still
+      fully reproducible from its seed and *bit-identical across
+      backends*.  ``select_batch`` amortises one kernel call over a whole
+      replica set.
     """
 
-    def __init__(self, prng: DeterministicPRNG, max_attempts: int = 1000) -> None:
+    #: Stream label under which kernel-mode entropy is derived from the
+    #: selector's PRNG (consumed exactly once, at construction).
+    _KERNEL_ENTROPY_LABEL = "sampler-kernel-entropy"
+
+    def __init__(
+        self,
+        prng: DeterministicPRNG,
+        max_attempts: int = 1000,
+        backend: Optional[Union[str, "KernelBackend"]] = None,
+    ) -> None:
         self.prng = prng
         self.max_attempts = max_attempts
         self._sampler: WeightedSampler[str] = WeightedSampler()
         self.collisions = 0
         self.samples = 0
+        self.kernels = None
+        self.backend: Optional[str] = None
+        if backend is not None:
+            # Imported lazily so repro.kernels.reference can import this
+            # module (for the Fenwick oracle) without a cycle.
+            from repro.kernels import get_backend
+
+            self.kernels = get_backend(backend)
+            self.backend = self.kernels.name
+            self._entropy = int.from_bytes(
+                prng.spawn(self._KERNEL_ENTROPY_LABEL).random_bytes(16), "big"
+            )
+            self._draw_calls = 0
+
+    @property
+    def kernel_mode(self) -> bool:
+        """True when draws are dispatched through ``batch_weighted_draw``."""
+        return self.kernels is not None
+
+    def _next_stream(self) -> "np.random.Generator":
+        """A fresh dedicated uint32 stream for one kernel call."""
+        from repro.kernels import sampler_stream
+
+        stream = sampler_stream(self._entropy, self._draw_calls)
+        self._draw_calls += 1
+        return stream
+
+    def _free_table(self, free_space_of: Callable[[str], int]) -> np.ndarray:
+        """Per-slot free capacities for the kernel's place acceptance.
+
+        Recycled slots report ``-1``; they carry weight 0 and are never
+        drawn, so the value only has to be *some* rejection.
+        """
+        free = np.full(self._sampler.slot_count, -1, dtype=np.int64)
+        for slot in range(self._sampler.slot_count):
+            key = self._sampler.key_at(slot)
+            if key is not None:
+                free[slot] = int(free_space_of(key))
+        return free
 
     # ------------------------------------------------------------------
     # Membership management (driven by the protocol)
@@ -197,8 +314,14 @@ class CapacitySelector:
     # ------------------------------------------------------------------
     def random_sector(self) -> str:
         """One capacity-proportional draw (no free-space check)."""
-        self.samples += 1
-        return self._sampler.sample(self.prng)
+        if self.kernels is None:
+            self.samples += 1
+            return self._sampler.sample(self.prng)
+        result = self.kernels.batch_weighted_draw(
+            self._next_stream(), self._sampler.slot_weights(), [("draw", 1)]
+        )
+        self.samples += result.attempts
+        return self._sampler.key_at(int(result.keys[0]))
 
     def select_with_space(self, required_space: int, free_space_of) -> Optional[str]:
         """Sample until a sector with ``required_space`` free is found.
@@ -207,12 +330,65 @@ class CapacitySelector:
         Returns ``None`` if ``max_attempts`` draws all collide, which the
         paper notes "almost never happens" under the redundant-capacity
         assumption.
+
+        In kernel mode the whole retry loop is one ``("place", ...)``
+        kernel operation; ``free_space_of`` is snapshotted across the
+        current sector set up front (it cannot change mid-loop -- the
+        loop only reads).
         """
         if len(self._sampler) == 0:
             return None
-        for _ in range(self.max_attempts):
-            sector_id = self.random_sector()
-            if free_space_of(sector_id) >= required_space:
-                return sector_id
-            self.collisions += 1
-        return None
+        if self.kernels is None:
+            for _ in range(self.max_attempts):
+                sector_id = self.random_sector()
+                if free_space_of(sector_id) >= required_space:
+                    return sector_id
+                self.collisions += 1
+            return None
+        result = self.kernels.batch_weighted_draw(
+            self._next_stream(),
+            self._sampler.slot_weights(),
+            [("place", int(required_space), self.max_attempts)],
+            free=self._free_table(free_space_of),
+        )
+        self.samples += result.attempts
+        self.collisions += result.collisions
+        slot = int(result.keys[0])
+        return None if slot < 0 else self._sampler.key_at(slot)
+
+    def select_batch(
+        self, sizes: Sequence[int], free_space_of: Callable[[str], int]
+    ) -> List[Optional[str]]:
+        """Kernel mode only: place a whole replica set with one kernel call.
+
+        Acceptance-wise equivalent to calling :meth:`select_with_space`
+        once per entry of ``sizes`` while reserving each selected
+        sector's space in between: the kernel debits its private free
+        table after every successful placement, exactly mirroring the
+        ``record.reserve`` the caller performs afterwards.  Entries that
+        exhaust ``max_attempts`` come back as ``None``.
+
+        Statistics caveat: the batch always runs to completion, so
+        ``samples``/``collisions`` cover every entry even when the caller
+        (like ``File Add``) aborts at the first ``None`` -- unlike the
+        legacy loop, which stops drawing at the first failure.  The
+        counters stay deterministic and backend-identical either way.
+        """
+        if self.kernels is None:
+            raise RuntimeError("select_batch requires a kernel-mode selector")
+        if not sizes:
+            return []
+        if len(self._sampler) == 0:
+            return [None] * len(sizes)
+        result = self.kernels.batch_weighted_draw(
+            self._next_stream(),
+            self._sampler.slot_weights(),
+            [("place", int(size), self.max_attempts) for size in sizes],
+            free=self._free_table(free_space_of),
+        )
+        self.samples += result.attempts
+        self.collisions += result.collisions
+        return [
+            None if slot < 0 else self._sampler.key_at(int(slot))
+            for slot in result.keys
+        ]

@@ -7,7 +7,9 @@ carves those loops out of :mod:`repro.sim` behind an explicit backend
 seam:
 
 * :mod:`repro.kernels.base` -- the :class:`~repro.kernels.base.KernelBackend`
-  contract (three kernels, bit-equivalence rules);
+  contract (four kernels, bit-equivalence rules);
+* :mod:`repro.kernels.sampling` -- the shared uint32 draw protocol behind
+  ``batch_weighted_draw`` (word stream, rejection adapter, validation);
 * :mod:`repro.kernels.reference` -- the original readable loops, kept as
   the correctness oracle;
 * :mod:`repro.kernels.vectorized` -- numpy sorted/grouped-scan
@@ -40,11 +42,13 @@ from typing import Dict, List, Optional, Union
 
 from repro.kernels.base import KernelBackend
 from repro.kernels.reference import ReferenceKernels
+from repro.kernels.sampling import BatchDrawResult, sampler_stream
 from repro.kernels.vectorized import VectorizedKernels
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
+    "BatchDrawResult",
     "KernelBackend",
     "KernelError",
     "ReferenceKernels",
@@ -52,6 +56,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "resolve_backend_name",
+    "sampler_stream",
 ]
 
 #: Environment variable consulted when no explicit backend is given.

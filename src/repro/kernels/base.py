@@ -1,15 +1,20 @@
 """The simulation-kernel contract shared by every backend.
 
-A *kernel backend* packages the three inner loops that dominate the
+A *kernel backend* packages the four inner loops that dominate the
 paper's largest experiments (Table III refresh churn, Section V-C
-adversarial robustness) behind one small, numerically pinned API:
+adversarial robustness, ``RandomSector()`` weighted selection) behind
+one small, numerically pinned API:
 
 * :meth:`KernelBackend.place_backups` -- batched capacity-proportional
   placement of every backup into equal-capacity sectors;
 * :meth:`KernelBackend.refresh_moves` -- a batch of refresh moves applied
   to a live placement, reporting the running per-sector usage maximum;
 * :meth:`KernelBackend.greedy_select` -- budgeted greedy sector selection
-  for the targeted-corruption adversary.
+  for the targeted-corruption adversary;
+* :meth:`KernelBackend.batch_weighted_draw` -- a batch of Fenwick-style
+  weighted draws with interleaved weight updates and resample-on-full
+  placement, the engine behind
+  :class:`~repro.core.selector.CapacitySelector`'s kernel mode.
 
 Backends must be **bit-equivalent**: for identical inputs (including the
 shared RNG draws, which happen *outside* the kernels so every backend
@@ -30,9 +35,11 @@ integer-valued files, where equality is exact.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+
+from repro.kernels.sampling import BatchDrawResult
 
 __all__ = ["KernelBackend"]
 
@@ -113,4 +120,54 @@ class KernelBackend(ABC):
         ``finishing_value`` sums the values of files whose *last* healthy
         replica lives in the candidate.  Ties resolve to the lowest
         sector index.  Stops when no candidate fits the budget.
+        """
+
+    @abstractmethod
+    def batch_weighted_draw(
+        self,
+        rng: np.random.Generator,
+        weights: Sequence[int],
+        ops: Sequence[Tuple],
+        free: Optional[Sequence[int]] = None,
+    ) -> BatchDrawResult:
+        """Replay a stream of weighted-draw operations against one table.
+
+        ``weights`` is a table of non-negative integer sampling weights
+        (slot ``i`` is drawn with probability ``weights[i] / total``;
+        zero-weight slots are never drawn).  ``ops`` is replayed in
+        order:
+
+        * ``("set", slot, weight)`` -- point-update a slot's sampling
+          weight (weight ``0`` removes/zeroes the slot);
+        * ``("draw", count)`` -- append ``count`` weighted draws to the
+          result keys;
+        * ``("place", size, max_attempts)`` -- the resample-on-full loop
+          of :meth:`CapacitySelector.select_with_space`: draw repeatedly
+          (at most ``max_attempts`` times) until a slot with
+          ``free[slot] >= size`` is hit, then debit ``free[slot] -=
+          size`` and append the slot; append ``-1`` when every attempt
+          collides.  Requires ``free``, a per-slot capacity table the
+          kernel updates privately as it places.
+
+        **Draw protocol.**  ``rng`` is a *dedicated* uint32 stream for
+        this one call (see
+        :func:`~repro.kernels.sampling.sampler_stream`); backends may
+        generate past the words the batch logically consumes, so callers
+        must never reuse the generator.  One draw with total weight
+        ``T`` consumes candidates of ``ceil(T.bit_length() / 32)``
+        words each (big-endian, right-shifted to ``T.bit_length()``
+        bits) until a candidate below ``T`` is accepted; the accepted
+        target selects the smallest slot whose weight prefix-sum exceeds
+        it -- exactly :meth:`WeightedSampler.sample` semantics.  Because
+        both backends consume the same words in the same candidate
+        order, the returned key sequences, attempt counts and collision
+        counts are **bit-identical** across backends -- enforced by
+        ``tests/test_kernels_equivalence.py`` and the hypothesis
+        differential pack in ``tests/test_property_based.py``.
+
+        Drawing from an empty or all-zero table raises ``ValueError``,
+        as does a total weight at or above
+        :data:`~repro.kernels.sampling.MAX_TOTAL_WEIGHT` (``2**62``),
+        checked at the first draw of each constant-weight segment.
+        Input tables are copied; the caller's arrays are never mutated.
         """

@@ -10,11 +10,18 @@ cross-backend equivalence tests treat them as ground truth.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.kernels.base import KernelBackend
+from repro.kernels.sampling import (
+    BatchDrawResult,
+    U32Randint,
+    U32Stream,
+    normalize_draw_request,
+    total_weight_guard,
+)
 
 __all__ = ["ReferenceKernels"]
 
@@ -112,3 +119,53 @@ class ReferenceKernels(KernelBackend):
             for file_index in hosted[best_sector]:
                 remaining_healthy[file_index] -= 1
         return chosen
+
+    def batch_weighted_draw(
+        self,
+        rng: np.random.Generator,
+        weights: Sequence[int],
+        ops: Sequence[Tuple],
+        free: Optional[Sequence[int]] = None,
+    ) -> BatchDrawResult:
+        # Imported lazily: repro.core.selector imports repro.kernels for
+        # its kernel mode, so a module-level import here would cycle.
+        from repro.core.selector import WeightedSampler
+
+        weight_table, op_list, free_table = normalize_draw_request(weights, ops, free)
+        # The oracle really is the Fenwick tree: slots become integer
+        # keys and every draw goes through WeightedSampler.sample with
+        # the shared U32Randint adapter supplying the draw protocol.
+        sampler: WeightedSampler[int] = WeightedSampler()
+        for slot, weight in enumerate(weight_table.tolist()):
+            sampler.add(slot, weight)
+        draws = U32Randint(U32Stream(rng))
+        free_list = free_table.tolist() if free_table is not None else None
+
+        keys: List[int] = []
+        attempts = 0
+        collisions = 0
+        for op in op_list:
+            kind = op[0]
+            if kind == "set":
+                sampler.update_weight(op[1], op[2])
+                continue
+            total_weight_guard(sampler.total_weight)
+            if kind == "draw":
+                for _ in range(op[1]):
+                    keys.append(sampler.sample(draws))
+                    attempts += 1
+            else:  # place
+                size, max_attempts = op[1], op[2]
+                placed = -1
+                for _ in range(max_attempts):
+                    slot = sampler.sample(draws)
+                    attempts += 1
+                    if free_list[slot] >= size:
+                        free_list[slot] -= size
+                        placed = slot
+                        break
+                    collisions += 1
+                keys.append(placed)
+        return BatchDrawResult(
+            keys=np.asarray(keys, dtype=np.int64), attempts=attempts, collisions=collisions
+        )

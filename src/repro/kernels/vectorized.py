@@ -24,15 +24,28 @@ equality with :class:`~repro.kernels.reference.ReferenceKernels`:
 * **placement** -- ``np.bincount`` accumulates weights in input order,
   i.e. the same addition order as the reference loop, so the batched
   capacity-proportional placement is exact as well.
+* **weighted draws** -- within a constant-weight segment the scalar
+  rejection loop is a pure filter over consecutive uint32 candidates, so
+  whole chunks are decoded at once and every accepted target resolves
+  with one ``searchsorted`` into the cumulative weights; weight updates
+  invalidate only the decoded candidates, never the word stream, so the
+  replay stays bit-identical to the Fenwick oracle
+  (:class:`_WeightedDrawEngine`).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.kernels.base import KernelBackend
+from repro.kernels.sampling import (
+    BatchDrawResult,
+    U32Stream,
+    normalize_draw_request,
+    total_weight_guard,
+)
 
 __all__ = ["VectorizedKernels"]
 
@@ -47,6 +60,126 @@ _MAX_TABLE_CELLS = 16_000_000
 #: instead of the padded-table layout (pays per *cell*, including
 #: padding).  Both layouts are bit-identical; this is purely a cost knob.
 _GROUP_LOOP_MAX = 1024
+
+#: Candidates decoded per refill of the weighted-draw engine.  Purely a
+#: cost knob: refilling never changes which words a draw consumes.
+_DRAW_CHUNK_CANDIDATES = 512
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+class _WeightedDrawEngine:
+    """Segment-replay engine behind ``batch_weighted_draw``.
+
+    The weight table is constant between ``set`` operations, so each
+    constant-weight *segment* shares one cumulative-weight array and one
+    candidate geometry (words per candidate, shift).  Within a segment
+    the rejection loop of the scalar draw protocol becomes a filter:
+    decode a chunk of consecutive candidates from the word stream at
+    once, keep those below the total, and binary-search all accepted
+    targets into the cumulative weights in one ``searchsorted``.
+
+    Word accounting preserves bit-identity with the scalar loop: a chunk
+    is *peeked*, not consumed.  Handing out the ``i``-th accepted
+    candidate logically consumes every word through it (rejected
+    candidates in between belong to the draw that skipped past them);
+    when a weight update invalidates the segment, the stream advances
+    only past the last handed-out candidate, so the next segment decodes
+    the very next word -- exactly where the scalar loop would be.  A
+    refill mid-draw may advance past trailing rejected candidates
+    because the pending draw is guaranteed to consume them.
+    """
+
+    def __init__(self, weights: np.ndarray, rng: np.random.Generator) -> None:
+        self._weights = weights
+        self._stream = U32Stream(rng)
+        # Exact running total (python int): int64 summation could wrap
+        # silently for adversarial tables, and the total drives both the
+        # guard and the candidate geometry.
+        self._total = sum(weights.tolist())
+        self._dirty = True
+        self._cum = _EMPTY_I64
+        self._n_words = 1
+        self._shift = np.uint64(0)
+        # Candidate cache for the current chunk.
+        self._slots = _EMPTY_I64  # accepted candidates, as slot indices
+        self._used_words = _EMPTY_I64  # words consumed through each of them
+        self._pos = 0  # accepted candidates already handed out
+        self._chunk_words = 0  # total words the current chunk peeked
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def set_weight(self, slot: int, weight: int) -> None:
+        self._invalidate()
+        self._total += weight - int(self._weights[slot])
+        self._weights[slot] = weight
+        self._dirty = True
+
+    def _invalidate(self) -> None:
+        """Drop the candidate cache, consuming only handed-out candidates."""
+        if self._pos:
+            self._stream.advance(int(self._used_words[self._pos - 1]))
+        self._slots = _EMPTY_I64
+        self._used_words = _EMPTY_I64
+        self._pos = 0
+        self._chunk_words = 0
+
+    def _rebuild(self) -> None:
+        if self._total <= 0:
+            raise ValueError("cannot sample from an empty or zero-weight sampler")
+        self._cum = np.cumsum(self._weights)
+        bits = self._total.bit_length()
+        self._n_words = (bits + 31) >> 5
+        self._shift = np.uint64(self._n_words * 32 - bits)
+        self._dirty = False
+
+    def _refill(self) -> None:
+        # Only reached with a draw pending, so every candidate of the
+        # previous chunk -- accepted and trailing rejected alike -- is
+        # logically consumed and the whole chunk can be committed.
+        if self._chunk_words:
+            self._stream.advance(self._chunk_words)
+        n_words = self._n_words
+        self._chunk_words = _DRAW_CHUNK_CANDIDATES * n_words
+        words = self._stream.peek(self._chunk_words).astype(np.uint64)
+        if n_words == 1:
+            values = words >> self._shift
+        else:
+            values = ((words[0::2] << np.uint64(32)) | words[1::2]) >> self._shift
+        positions = np.flatnonzero(values < np.uint64(self._total))
+        targets = values[positions].astype(np.int64)
+        self._slots = np.searchsorted(self._cum, targets, side="right")
+        self._used_words = (positions + 1) * n_words
+        self._pos = 0
+
+    def next_slot(self) -> int:
+        """One weighted draw."""
+        if self._dirty:
+            self._rebuild()
+        while self._pos >= self._slots.size:
+            self._refill()
+        slot = int(self._slots[self._pos])
+        self._pos += 1
+        return slot
+
+    def next_slots(self, count: int) -> np.ndarray:
+        """``count`` weighted draws, gathered chunk by chunk."""
+        if self._dirty:
+            self._rebuild()
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            available = self._slots.size - self._pos
+            if available == 0:
+                self._refill()
+                continue
+            take = min(available, count - filled)
+            out[filled : filled + take] = self._slots[self._pos : self._pos + take]
+            self._pos += take
+            filled += take
+        return out
 
 
 class VectorizedKernels(KernelBackend):
@@ -372,3 +505,48 @@ class VectorizedKernels(KernelBackend):
                     else:  # lost: stops contributing anywhere
                         finishing[hosts] -= values_arr[file_index]
         return chosen
+
+    # ------------------------------------------------------------------
+    # Batched weighted draws
+    # ------------------------------------------------------------------
+    def batch_weighted_draw(
+        self,
+        rng: np.random.Generator,
+        weights: Sequence[int],
+        ops: Sequence[Tuple],
+        free: Optional[Sequence[int]] = None,
+    ) -> BatchDrawResult:
+        weight_table, op_list, free_table = normalize_draw_request(weights, ops, free)
+        engine = _WeightedDrawEngine(weight_table, rng)
+
+        parts: List[np.ndarray] = []
+        attempts = 0
+        collisions = 0
+        for op in op_list:
+            kind = op[0]
+            if kind == "set":
+                engine.set_weight(op[1], op[2])
+                continue
+            total_weight_guard(engine.total)
+            if kind == "draw":
+                count = op[1]
+                if count:
+                    parts.append(engine.next_slots(count))
+                    attempts += count
+            else:  # place: acceptance depends on the evolving free table,
+                # so resolve sequentially over the pre-decoded candidates.
+                size, max_attempts = op[1], op[2]
+                placed = -1
+                for _ in range(max_attempts):
+                    slot = engine.next_slot()
+                    attempts += 1
+                    if free_table[slot] >= size:
+                        free_table[slot] -= size
+                        placed = slot
+                        break
+                    collisions += 1
+                parts.append(np.asarray([placed], dtype=np.int64))
+        keys = np.concatenate(parts) if parts else _EMPTY_I64.copy()
+        return BatchDrawResult(
+            keys=keys.astype(np.int64, copy=False), attempts=attempts, collisions=collisions
+        )

@@ -11,7 +11,11 @@ list|run|bench|diff|campaign``.
   of the same (scenario, params, seed).
 * ``repro bench <scenario> [--workers N] ...`` -- time the same scenario
   serially and with ``N`` workers, report the speedup, and verify that
-  both runs produced identical per-trial rows.
+  both runs produced identical per-trial rows.  ``--backend all`` sweeps
+  every registered kernel backend in one invocation instead: one serial
+  run per backend, a comparative wall/speedup table, a cross-backend
+  row-identity check, an optional ``--min-speedup`` gate, and (with
+  ``--out``) one JSON comparison section for CI artifacts.
 * ``repro diff <a.json> <b.json>`` -- compare two run manifests: seed and
   parameter provenance plus per-metric deltas with CI-overlap verdicts;
   exits non-zero when the manifests' metric sets do not even match.
@@ -56,6 +60,7 @@ examples:
   repro run churn --set cycles=12 --set crash_rate=0.2 --out runs/churn.json
   repro run churn --resume runs/churn.json --out runs/churn.json
   repro run table3 --backend reference   # kernel backend (hot-loop oracle)
+  repro bench churn --backend all --out BENCH_churn_backends.json
   repro diff runs/a.json runs/b.json
   repro campaign run examples/table3_campaign.toml --workers 4
   repro campaign run --matrix table3:rounds=20,50 --workers 4
@@ -122,8 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="simulation-kernel backend for scenarios with a 'backend' "
             "parameter: auto, reference or vectorized (default: auto, i.e. "
             "$REPRO_KERNEL_BACKEND or vectorized); shorthand for "
-            "--set backend=NAME",
+            "--set backend=NAME.  'bench --backend all' sweeps every "
+            "registered backend in one invocation and reports a "
+            "comparative table",
         )
+        if name == "bench":
+            sub.add_argument(
+                "--min-speedup",
+                type=float,
+                default=0.0,
+                metavar="X",
+                help="with --backend all: fail unless the default backend "
+                "is at least X times faster than the reference backend "
+                "(default 0, no gate)",
+            )
         if name == "run":
             sub.add_argument(
                 "--quiet",
@@ -314,8 +331,115 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_backends(args: argparse.Namespace) -> int:
+    """``bench <scenario> --backend all``: one sweep over every backend.
+
+    Runs the scenario once per registered kernel backend (serially, so
+    walls are comparable), verifies the per-trial rows are identical
+    across backends, and prints one comparative table.  ``--out`` writes
+    the comparison as a single JSON section (same spirit as the
+    ``BENCH_kernels.json`` artifact); ``--min-speedup X`` turns the
+    default backend's speedup over ``reference`` into a gate.
+    """
+    import json
+
+    from repro.kernels import DEFAULT_BACKEND, available_backends
+
+    overrides = _parse_overrides(args.overrides)
+    if "backend" in overrides:
+        raise ScenarioError(
+            "--backend all conflicts with --set backend="
+            f"{overrides['backend']!r}; drop one of them"
+        )
+    spec = get_scenario(args.scenario)
+    if "backend" not in spec.params:
+        raise ScenarioError(
+            f"scenario {args.scenario!r} has no 'backend' parameter to sweep"
+        )
+
+    walls: Dict[str, float] = {}
+    manifests = {}
+    for name in available_backends():
+        started = time.perf_counter()
+        manifests[name] = run_scenario(
+            args.scenario,
+            overrides={**overrides, "backend": name},
+            workers=1,
+            seed=args.seed,
+        )
+        walls[name] = time.perf_counter() - started
+
+    reference_wall = walls.get("reference")
+    rows: List[Dict[str, object]] = []
+    speedups: Dict[str, float] = {}
+    for name in available_backends():
+        speedup = (
+            reference_wall / walls[name] if reference_wall and walls[name] > 0 else 1.0
+        )
+        speedups[name] = speedup
+        rows.append(
+            {
+                "backend": name,
+                "wall_seconds": round(walls[name], 3),
+                "speedup_vs_reference": round(speedup, 2),
+            }
+        )
+    # Compare the rows alone: the manifests' params legitimately differ
+    # in their (recorded, swept) 'backend' entry.
+    from repro.runner.results import jsonify
+
+    first = available_backends()[0]
+    identical = all(
+        jsonify(manifests[first].rows) == jsonify(manifests[name].rows)
+        for name in available_backends()[1:]
+    )
+
+    trials = manifests[first].trial_count
+    print(
+        f"bench scenario={args.scenario} trials={trials} seed={args.seed} "
+        f"backends={','.join(available_backends())}"
+    )
+    print(format_table(rows))
+    print(f"per-trial rows identical across backends: {identical}")
+
+    gate_ok = True
+    if args.min_speedup > 0:
+        achieved = speedups.get(DEFAULT_BACKEND, 1.0)
+        gate_ok = achieved >= args.min_speedup
+        verdict = "ok" if gate_ok else "FAIL"
+        print(
+            f"speedup gate: {DEFAULT_BACKEND} {achieved:.2f}x vs reference "
+            f"(required {args.min_speedup:.2f}x) -> {verdict}"
+        )
+
+    if args.out:
+        artifact = {
+            "kind": "scenario_backend_sweep",
+            "scenario": args.scenario,
+            "seed": args.seed,
+            "overrides": overrides,
+            "trials": trials,
+            "backends": {
+                name: {
+                    "wall_seconds": round(walls[name], 6),
+                    "speedup_vs_reference": round(speedups[name], 3),
+                }
+                for name in available_backends()
+            },
+            "rows_identical": identical,
+            "min_speedup": args.min_speedup,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"comparison written to {args.out}")
+    return 0 if identical and gate_ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     load_builtin_scenarios()
+    if args.backend == "all":
+        return _cmd_bench_backends(args)
     overrides = _overrides_with_backend(args)
     workers = _workers_or(args, default_workers())
 

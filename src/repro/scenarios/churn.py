@@ -24,6 +24,12 @@ files alive:
 * event counts (``joins``/``leaves``/``crashes``) so aggregated rows can be
   read against the realised churn intensity.
 
+The trial is backend-dispatched *end to end*: the deployment's
+``RandomSector()`` draws (initial placement and refresh targets) run on
+the ``batch_weighted_draw`` kernel of the selected backend, and the
+post-churn stress runs on the greedy kernel -- rows are bit-identical
+across ``backend=reference`` and ``backend=vectorized``.
+
 Registered with :mod:`repro.runner` as ``churn``; run it with::
 
     python -m repro run churn --workers 4 --set cycles=12 --set crash_rate=0.15
@@ -89,6 +95,7 @@ def run_churn_trial(task: Mapping[str, object]) -> Dict[str, object]:
             sectors_per_provider=int(task["sectors_per_provider"]),  # type: ignore[arg-type]
             client_count=int(task["clients"]),  # type: ignore[arg-type]
             seed=seed,
+            backend=str(task["backend"]),
         )
     )
 

@@ -15,7 +15,10 @@ stream from :class:`~repro.sim.workload.WorkloadGenerator`:
 * service timing uses :class:`~repro.sim.network.LatencyModel` plus a
   single-server queue per provider, so the sweep over arrival rates maps
   out the load/latency curve and the fraction of requests that violate
-  the ``DelayPerSize`` deadline.
+  the ``DelayPerSize`` deadline;
+* the request stream's popularity-weighted file choices are one batched
+  ``batch_weighted_draw`` on the backend-dispatched :mod:`repro.kernels`
+  seam (``backend`` parameter), bit-identical across backends.
 
 Registered with :mod:`repro.runner` as ``retrieval_load``; run it with::
 
@@ -27,6 +30,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Tuple
 
 from repro.crypto.prng import DeterministicPRNG
+from repro.kernels import get_backend, sampler_stream
 from repro.runner.aggregate import compact_summary, summarize
 from repro.runner.registry import ParamSpec, scenario
 from repro.sim.metrics import MetricSeries
@@ -43,6 +47,16 @@ __all__ = ["run_retrieval_trial", "main"]
 #: scaled to the toy bandwidths used here.
 _DELAY_PER_SIZE = 5e-5
 
+#: Popularity weights are integer for the ``batch_weighted_draw`` kernel:
+#: rank r gets ``_POPULARITY_UNIT // (r + 1)``, i.e. 1/rank popularity
+#: quantised to about six decimal digits (exact for the first dozens of
+#: ranks, where essentially all of the mass sits).
+_POPULARITY_UNIT = 720_720  # lcm(1..16)
+
+#: Spawn-key constant separating the request-stream draws from any other
+#: sampler stream derived from the same trial seed.
+_REQUEST_STREAM = 1
+
 _SCENARIO_PARAMS = {
     "providers": ParamSpec(8, "provider peers serving blocks"),
     "clients": ParamSpec(4, "client peers issuing requests"),
@@ -55,6 +69,9 @@ _SCENARIO_PARAMS = {
     "bandwidth_kibps": ParamSpec(64.0, "per-provider service bandwidth (KiB/s)"),
     "delay_per_size": ParamSpec(_DELAY_PER_SIZE, "deadline seconds per byte (DelayPerSize)"),
     "zipf_popularity": ParamSpec(True, "rank-weighted (1/rank) file popularity"),
+    "backend": ParamSpec(
+        "auto", "simulation-kernel backend (auto, reference or vectorized)"
+    ),
     "trials": ParamSpec(2, "independent repetitions per rate"),
 }
 
@@ -136,7 +153,6 @@ def run_retrieval_trial(task: Mapping[str, object]) -> Dict[str, object]:
         jitter_fraction=0.1,
     )
     jitter_prng = DeterministicPRNG.from_int(seed, domain="retrieval-jitter")
-    stream_prng = DeterministicPRNG.from_int(seed, domain="retrieval-stream")
 
     rate = float(task["rate_per_s"])  # type: ignore[arg-type]
     request_count = int(task["requests"])  # type: ignore[arg-type]
@@ -145,10 +161,21 @@ def run_retrieval_trial(task: Mapping[str, object]) -> Dict[str, object]:
     while len(arrivals) < request_count:  # thin tails: keep the count exact
         arrivals.append((arrivals[-1] if arrivals else 0.0) + 1.0 / rate)
 
+    # The whole request stream's file choices come from one batched
+    # weighted draw on the selected kernel backend: bit-identical across
+    # backends, deterministic in the trial seed.
     if bool(task["zipf_popularity"]):
-        popularity = [1.0 / (rank + 1) for rank in range(len(catalog))]
+        popularity = [
+            max(1, _POPULARITY_UNIT // (rank + 1)) for rank in range(len(catalog))
+        ]
     else:
-        popularity = [1.0] * len(catalog)
+        popularity = [1] * len(catalog)
+    backend = get_backend(str(task["backend"]))
+    requested_files = backend.batch_weighted_draw(
+        sampler_stream(seed, _REQUEST_STREAM),
+        popularity,
+        [("draw", request_count)],
+    ).keys
 
     delay_per_size = float(task["delay_per_size"])  # type: ignore[arg-type]
     busy_until: Dict[str, float] = {name: 0.0 for name in provider_names}
@@ -157,7 +184,7 @@ def run_retrieval_trial(task: Mapping[str, object]) -> Dict[str, object]:
     unserved = 0
     hops_total = 0
     for request_index, arrival in enumerate(arrivals):
-        root, blocks, size = catalog[stream_prng.weighted_index(popularity)]
+        root, blocks, size = catalog[int(requested_files[request_index])]
         client = bitswap.peer(client_names[request_index % len(client_names)])
 
         # Provider discovery: a real Kademlia lookup, each hop one RTT.

@@ -26,6 +26,11 @@ and measures, per grid cell:
   framing); and a real split / drop-half / reassemble round-trip through
   :class:`~repro.crypto.erasure.ReedSolomonCode` as an integrity check.
 
+Both placement arms run as single ``batch_weighted_draw`` calls on the
+backend-dispatched :mod:`repro.kernels` seam (``backend`` parameter):
+uniform draws with retry-on-collision ``place`` semantics, bit-identical
+across backends.
+
 Registered with :mod:`repro.runner` as ``segmentation``; run it with::
 
     python -m repro run segmentation --workers 4 --set size_ratios=0.5,2,8
@@ -36,9 +41,12 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Mapping
 
+import numpy as np
+
 from repro.core.large_files import LargeFileCodec
 from repro.crypto.erasure import ReedSolomonCode
 from repro.crypto.prng import DeterministicPRNG
+from repro.kernels import KernelBackend, get_backend, sampler_stream
 from repro.runner.aggregate import compact_summary, summarize
 from repro.runner.registry import ParamSpec, scenario
 from repro.sim.workload import FileSizeDistribution, WorkloadGenerator
@@ -58,8 +66,14 @@ _SCENARIO_PARAMS = {
     "replicas": ParamSpec(3, "replicas placed per (segment or whole-file) unit"),
     "retries": ParamSpec(3, "re-draws allowed when a placement collides"),
     "value": ParamSpec(4, "value of each sampled file (token units)"),
+    "backend": ParamSpec(
+        "auto", "simulation-kernel backend (auto, reference or vectorized)"
+    ),
     "trials": ParamSpec(2, "independent repetitions per grid cell"),
 }
+
+#: Spawn-key constants separating the two placement arms' draw streams.
+_RAW_ARM, _SEG_ARM = 1, 2
 
 
 def _build_trials(params: Mapping[str, object]) -> List[Dict[str, object]]:
@@ -83,7 +97,8 @@ def _place_units(
     sector_capacity: int,
     min_sectors: int,
     retries: int,
-    prng: DeterministicPRNG,
+    rng: "np.random.Generator",
+    backend: KernelBackend,
 ) -> int:
     """Randomly place replica units into capacity-tracked sectors.
 
@@ -93,24 +108,24 @@ def _place_units(
     relative load and failures measure *fit granularity*, not overload.
     Placement mirrors the selector: draw a uniformly random sector, retry
     on a collision (not enough free space), give up after ``retries``
-    re-draws.  Returns how many replica placements failed.
+    re-draws.  The whole arm is a single ``batch_weighted_draw`` call on
+    the selected kernel backend -- equal weights make the draws uniform,
+    ``("place", ...)`` operations carry the retry-on-collision semantics,
+    and the kernel's free-table debits track the filling sectors.
+    Returns how many replica placements failed.
     """
     load = sum(unit_sizes) * replicas
     n_sectors = max(min_sectors, math.ceil(2 * load / sector_capacity))
-    free = [sector_capacity] * n_sectors
-    failures = 0
-    for size in unit_sizes:
-        for _ in range(replicas):
-            placed = False
-            for _ in range(retries + 1):
-                sector = prng.randint(0, n_sectors - 1)
-                if free[sector] >= size:
-                    free[sector] -= size
-                    placed = True
-                    break
-            if not placed:
-                failures += 1
-    return failures
+    ops = [
+        ("place", size, retries + 1) for size in unit_sizes for _ in range(replicas)
+    ]
+    result = backend.batch_weighted_draw(
+        rng,
+        np.ones(n_sectors, dtype=np.int64),
+        ops,
+        free=np.full(n_sectors, sector_capacity, dtype=np.int64),
+    )
+    return int(np.count_nonzero(result.keys < 0))
 
 
 def run_segmentation_trial(task: Mapping[str, object]) -> Dict[str, object]:
@@ -169,13 +184,16 @@ def run_segmentation_trial(task: Mapping[str, object]) -> Dict[str, object]:
         data_segments_total += k_data
         total_segments_total += n_total
 
-    prng = DeterministicPRNG.from_int(seed, domain="segmentation-placement")
+    backend = get_backend(str(task["backend"]))
     raw_failures = _place_units(
-        raw_units, replicas, sector_capacity, min_sectors, retries, prng.spawn("raw")
+        raw_units, replicas, sector_capacity, min_sectors, retries,
+        sampler_stream(seed, _RAW_ARM), backend,
     )
     seg_failures = _place_units(
-        segment_units, replicas, sector_capacity, min_sectors, retries, prng.spawn("seg")
+        segment_units, replicas, sector_capacity, min_sectors, retries,
+        sampler_stream(seed, _SEG_ARM), backend,
     )
+    prng = DeterministicPRNG.from_int(seed, domain="segmentation-placement")
 
     # Integrity: a real split -> lose half the segments -> reassemble, at
     # the cell's RS geometry but on a small probe so GF(256) math stays cheap.

@@ -47,6 +47,12 @@ class ScenarioConfig:
     provider_funds: int = 1_000_000
     client_funds: int = 1_000_000
     seed: int = 42
+    #: Simulation-kernel backend for the protocol's sector selection
+    #: (``"reference"`` / ``"vectorized"`` / ``"auto"``); ``None`` keeps
+    #: the legacy one-draw-at-a-time SHA-256 path.  Either way the
+    #: deployment is deterministic in ``seed``, and kernel-mode draws are
+    #: bit-identical across backends.
+    backend: Optional[str] = None
     latency: LatencyModel = field(
         default_factory=lambda: LatencyModel(
             base_latency_s=0.001, bandwidth_bytes_per_s=100 * 1024 * 1024, jitter_fraction=0.1
@@ -73,6 +79,7 @@ class DSNScenario:
             prng=DeterministicPRNG.from_int(self.config.seed, domain="scenario-protocol"),
             health_oracle=self.sector_is_healthy,
             auto_prove=True,
+            backend=self.config.backend,
         )
         self.providers: Dict[str, StorageProvider] = {}
         self.clients: Dict[str, StorageClient] = {}

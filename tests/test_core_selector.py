@@ -2,13 +2,21 @@
 
 import pytest
 
-from repro.core.selector import CapacitySelector, WeightedSampler
+from repro.core.selector import CapacitySelector, SamplerInvariantError, WeightedSampler
 from repro.crypto.prng import DeterministicPRNG
 
 
 @pytest.fixture
 def sampler_prng():
     return DeterministicPRNG.from_int(99, domain="selector-test")
+
+
+def _kernel_selector(backend, seed=99, max_attempts=1000):
+    return CapacitySelector(
+        DeterministicPRNG.from_int(seed, domain="selector-test"),
+        max_attempts=max_attempts,
+        backend=backend,
+    )
 
 
 class TestWeightedSampler:
@@ -86,6 +94,132 @@ class TestWeightedSampler:
             counts[key] = counts.get(key, 0) + 1
         expected = draws / 200
         assert max(counts.values()) < expected * 3
+
+
+class TestSamplerInvariantError:
+    def test_corrupted_tree_raises_with_state(self, sampler_prng):
+        sampler = WeightedSampler()
+        sampler.add("only", 10)
+        # Corrupt the slot->key mapping behind the Fenwick tree's back:
+        # the prefix sums still point at slot 0, which now has no key.
+        sampler._keys[0] = None
+        with pytest.raises(SamplerInvariantError) as excinfo:
+            sampler.sample(sampler_prng)
+        error = excinfo.value
+        assert error.slot == 0
+        assert error.weight == 10
+        assert error.total == 10
+        assert 0 <= error.target < 10
+        assert "Fenwick tree is inconsistent" in str(error)
+
+    def test_is_a_runtime_error(self):
+        # Callers that caught the old bare RuntimeError keep working.
+        assert issubclass(SamplerInvariantError, RuntimeError)
+
+    def test_empty_sampler_still_raises_value_error(self, sampler_prng):
+        # The zero-weight case is a *caller* error, not an invariant break.
+        with pytest.raises(ValueError):
+            WeightedSampler().sample(sampler_prng)
+
+
+class TestSlotViews:
+    def test_slot_weights_track_membership(self):
+        sampler = WeightedSampler()
+        sampler.add("a", 5)
+        sampler.add("b", 7)
+        sampler.remove("a")
+        assert sampler.slot_count == 2
+        assert sampler.slot_weights().tolist() == [0, 7]
+        assert sampler.key_at(0) is None
+        assert sampler.key_at(1) == "b"
+
+
+class TestCapacitySelectorKernelMode:
+    BACKENDS = ("reference", "vectorized")
+
+    def test_backend_name_recorded(self):
+        assert _kernel_selector("reference").backend == "reference"
+        assert _kernel_selector("vectorized").kernel_mode is True
+        legacy = CapacitySelector(DeterministicPRNG.from_int(0, domain="x"))
+        assert legacy.backend is None and legacy.kernel_mode is False
+
+    def test_random_sector_identical_across_backends(self):
+        draws = {}
+        for backend in self.BACKENDS:
+            selector = _kernel_selector(backend)
+            selector.add_sector("big", 900)
+            selector.add_sector("small", 100)
+            draws[backend] = [selector.random_sector() for _ in range(200)]
+        assert draws["reference"] == draws["vectorized"]
+        assert draws["reference"].count("big") > draws["reference"].count("small") * 4
+
+    def test_select_with_space_identical_and_counts(self):
+        outcomes = {}
+        for backend in self.BACKENDS:
+            selector = _kernel_selector(backend, max_attempts=50)
+            selector.add_sector("full", 1000)
+            selector.add_sector("open", 1000)
+            free = {"full": 0, "open": 500}
+            chosen = [
+                selector.select_with_space(100, lambda s: free[s]) for _ in range(20)
+            ]
+            outcomes[backend] = (chosen, selector.samples, selector.collisions)
+        assert outcomes["reference"] == outcomes["vectorized"]
+        chosen, samples, collisions = outcomes["reference"]
+        assert set(chosen) == {"open"}
+        assert samples == 20 + collisions
+
+    def test_select_with_space_gives_up_after_max_attempts(self):
+        for backend in self.BACKENDS:
+            selector = _kernel_selector(backend, max_attempts=50)
+            selector.add_sector("full", 1000)
+            assert selector.select_with_space(10, lambda s: 0) is None
+            assert selector.collisions == 50
+            assert selector.samples == 50
+
+    def test_select_with_space_empty_selector(self):
+        for backend in self.BACKENDS:
+            assert _kernel_selector(backend).select_with_space(1, lambda s: 9) is None
+
+    def test_select_batch_debits_free_space_between_picks(self):
+        """The kernel's private free table mirrors the reserve() calls the
+        protocol performs after a batched File Add selection."""
+        for backend in self.BACKENDS:
+            selector = _kernel_selector(backend)
+            selector.add_sector("only", 100)
+            free = {"only": 150}
+            batch = selector.select_batch([100, 100], lambda s: free[s])
+            # The first replica fits; the second must collide out even
+            # though the *caller's* free map still says 150.
+            assert batch == ["only", None]
+
+    def test_select_batch_identical_across_backends(self):
+        outcomes = {}
+        for backend in self.BACKENDS:
+            selector = _kernel_selector(backend)
+            selector.add_sector("a", 600)
+            selector.add_sector("b", 400)
+            free = {"a": 128, "b": 64}
+            picks = selector.select_batch([64, 64, 64], lambda s: free[s])
+            outcomes[backend] = (picks, selector.samples, selector.collisions)
+        assert outcomes["reference"] == outcomes["vectorized"]
+        picks = outcomes["reference"][0]
+        # 192 bytes fit in total, so every replica lands somewhere, and
+        # each sector only has room for its own share (2x64 / 1x64).
+        assert None not in picks
+        assert sorted(picks) == ["a", "a", "b"]
+
+    def test_select_batch_requires_kernel_mode(self, sampler_prng):
+        with pytest.raises(RuntimeError, match="kernel-mode"):
+            CapacitySelector(sampler_prng).select_batch([1], lambda s: 1)
+
+    def test_removal_excludes_sector_from_kernel_draws(self):
+        for backend in self.BACKENDS:
+            selector = _kernel_selector(backend)
+            selector.add_sector("a", 50)
+            selector.add_sector("b", 50)
+            selector.remove_sector("a")
+            assert all(selector.random_sector() == "b" for _ in range(50))
 
 
 class TestCapacitySelector:

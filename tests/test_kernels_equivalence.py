@@ -2,12 +2,15 @@
 
 The :mod:`repro.kernels` contract is *bit*-equivalence: for identical
 seeds and shapes, the ``reference`` oracle loops and the ``vectorized``
-numpy kernels must produce identical ``PlacementResult`` fields and
-identical greedy-adversary sector choices.  These tests sweep a
-seed/shape grid over both backends and additionally pin the refresh
-engine's batch-size invariance (the PR-4 metrics fix): ``batch_size``
-bounds memory only, so serial (``batch_size=1``) and batched runs must
-be byte-identical.
+numpy kernels must produce identical ``PlacementResult`` fields,
+identical greedy-adversary sector choices, and identical
+``batch_weighted_draw`` key sequences (with matching attempt and
+collision counts).  These tests sweep a seed/shape grid over both
+backends and additionally pin the refresh engine's batch-size
+invariance (the PR-4 metrics fix): ``batch_size`` bounds memory only,
+so serial (``batch_size=1``) and batched runs must be byte-identical.
+The hypothesis-generated differential pack lives in
+``tests/test_property_based.py``.
 """
 
 from __future__ import annotations
@@ -23,7 +26,9 @@ from repro.kernels import (
     available_backends,
     get_backend,
     resolve_backend_name,
+    sampler_stream,
 )
+from repro.kernels.sampling import MAX_TOTAL_WEIGHT
 from repro.sim.adversary import GreedyCapacityAdversary
 from repro.sim.placement import PlacementExperiment
 from repro.sim.workload import FileSizeDistribution
@@ -253,13 +258,161 @@ class TestGreedyKernelEquivalence:
             ) == {0, 1, 2}
 
 
+def _batch_draw(name, weights, ops, free=None, entropy=0):
+    return get_backend(name).batch_weighted_draw(
+        sampler_stream(entropy, 0), weights, ops, free=free
+    )
+
+
+def _assert_batch_identical(weights, ops, free=None, entropy=0):
+    reference = _batch_draw("reference", weights, ops, free=free, entropy=entropy)
+    vectorized = _batch_draw("vectorized", weights, ops, free=free, entropy=entropy)
+    assert np.array_equal(reference.keys, vectorized.keys)
+    assert reference.attempts == vectorized.attempts
+    assert reference.collisions == vectorized.collisions
+    return reference
+
+
+class TestBatchWeightedDrawEquivalence:
+    @pytest.mark.parametrize("entropy", (0, 7, 23))
+    @pytest.mark.parametrize(
+        "n_slots,n_draws",
+        ((1, 50), (3, 2000), (40, 5000), (500, 3000)),
+    )
+    def test_draw_batches_identical(self, entropy, n_slots, n_draws):
+        """Seed/shape grid: big draw batches cross multiple candidate-chunk
+        refills of the vectorized engine."""
+        rng = np.random.default_rng(entropy + n_slots)
+        weights = rng.integers(0, 1 << 16, n_slots).tolist()
+        weights[0] = max(weights[0], 1)  # keep the table drawable
+        _assert_batch_identical(weights, [("draw", n_draws)], entropy=entropy)
+
+    @pytest.mark.parametrize("entropy", (0, 5))
+    def test_interleaved_updates_identical(self, entropy):
+        """Weight updates between draw batches force the vectorized
+        engine's segment replay mid-stream."""
+        weights = [10, 0, 7, 1000, 3]
+        ops = [
+            ("draw", 100),
+            ("set", 3, 0),
+            ("draw", 100),
+            ("set", 1, 1 << 30),
+            ("set", 0, 0),
+            ("draw", 300),
+            ("draw", 0),
+            ("set", 1, 1),
+            ("draw", 64),
+        ]
+        result = _assert_batch_identical(weights, ops, entropy=entropy)
+        keys = result.keys
+        # Removed slots never reappear in later segments.
+        assert not np.any(keys[100:200] == 3)
+        assert not np.any(keys[200:] == 0)
+
+    def test_two_word_candidates_identical(self):
+        """Totals at/above 2**32 consume two uint32 words per candidate."""
+        weights = [1 << 40, (1 << 41) + 17, 5, 0]
+        ops = [("draw", 500), ("set", 0, (1 << 45) - 3), ("draw", 500)]
+        for entropy in (0, 1, 2):
+            _assert_batch_identical(weights, ops, entropy=entropy)
+
+    def test_place_semantics_identical(self):
+        """Resample-on-full placement: successes debit the free table,
+        exhausted attempts yield -1, collisions are counted."""
+        weights = [10, 10, 10]
+        free = [100, 60, 0]
+        ops = [("place", 60, 8)] * 4 + [("draw", 3)] + [("place", 5, 8)] * 6
+        result = _assert_batch_identical(weights, ops, free=free, entropy=3)
+        placed = np.concatenate([result.keys[:4], result.keys[7:]])
+        # Slot 2 never accepts (zero free capacity) and only one size-60
+        # replica fits per remaining slot, so later size-60 places fail.
+        assert not np.any(placed == 2)
+        assert sorted(result.keys[:4].tolist()) == [-1, -1, 0, 1]
+        assert result.collisions > 0
+
+    def test_place_never_succeeds_when_nothing_fits(self):
+        for name in BACKENDS:
+            result = _batch_draw(
+                name, [5, 5], [("place", 10, 7)], free=[9, 9], entropy=1
+            )
+            assert result.keys.tolist() == [-1]
+            assert result.attempts == 7
+            assert result.collisions == 7
+
+    def test_zero_total_raises_on_both(self):
+        for name in BACKENDS:
+            with pytest.raises(ValueError, match="empty or zero-weight"):
+                _batch_draw(name, [0, 0, 0], [("draw", 1)])
+            # ...including when a set op drains the table mid-batch.
+            with pytest.raises(ValueError, match="empty or zero-weight"):
+                _batch_draw(name, [4], [("draw", 2), ("set", 0, 0), ("draw", 1)])
+
+    def test_total_weight_bound_raises_on_both(self):
+        for name in BACKENDS:
+            # A single over-bound weight is rejected at validation, even
+            # transiently (before any draw could trip the total guard).
+            with pytest.raises(ValueError, match="2\\*\\*62"):
+                _batch_draw(name, [1], [("set", 0, MAX_TOTAL_WEIGHT), ("set", 0, 5)])
+            with pytest.raises(ValueError, match="2\\*\\*62"):
+                _batch_draw(name, [MAX_TOTAL_WEIGHT], [("draw", 1)])
+            with pytest.raises(ValueError, match="2\\*\\*62"):
+                _batch_draw(name, [1 << 63], [("draw", 1)])
+            # In-bound weights whose *total* crosses the bound trip the
+            # draw-time guard instead.
+            with pytest.raises(ValueError, match="2\\*\\*62"):
+                _batch_draw(
+                    name, [MAX_TOTAL_WEIGHT // 2, MAX_TOTAL_WEIGHT // 2], [("draw", 1)]
+                )
+
+    def test_malformed_requests_rejected_identically(self):
+        cases = [
+            (([1, 2], [("bogus", 1)]), {}),
+            (([1, 2], [("set", 5, 1)]), {}),
+            (([1, 2], [("set", 0, -1)]), {}),
+            (([1, 2], [("draw", -1)]), {}),
+            (([1, 2], [("place", 1, 0)]), {"free": [1, 1]}),
+            (([1, 2], [("place", 1, 3)]), {}),  # place without a free table
+            (([-1, 2], [("draw", 1)]), {}),
+            (([1, 2], [("draw", 1)]), {"free": [1]}),  # shape mismatch
+        ]
+        for (weights, ops), kwargs in cases:
+            for name in BACKENDS:
+                with pytest.raises(ValueError):
+                    _batch_draw(name, weights, ops, **kwargs)
+
+    def test_inputs_are_never_mutated(self):
+        weights = np.asarray([3, 4, 5], dtype=np.int64)
+        free = np.asarray([50, 50, 50], dtype=np.int64)
+        for name in BACKENDS:
+            _batch_draw(
+                name, weights, [("set", 0, 9), ("place", 10, 4), ("draw", 5)],
+                free=free, entropy=2,
+            )
+            assert weights.tolist() == [3, 4, 5]
+            assert free.tolist() == [50, 50, 50]
+
+    def test_dedicated_streams_differ_by_spawn_key(self):
+        """Two calls on different spawn keys draw different sequences --
+        the domain separation select/refresh call sites rely on."""
+        weights = [1] * 16
+        a = get_backend("vectorized").batch_weighted_draw(
+            sampler_stream(4, 0), weights, [("draw", 64)]
+        )
+        b = get_backend("vectorized").batch_weighted_draw(
+            sampler_stream(4, 1), weights, [("draw", 64)]
+        )
+        assert not np.array_equal(a.keys, b.keys)
+
+
 class TestScenarioBackendThreading:
     def test_resolve_params_concretises_auto(self, monkeypatch):
         from repro.runner.registry import get_scenario, load_builtin_scenarios, resolve_params
 
         load_builtin_scenarios()
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
-        for scenario_name in ("table3", "robustness", "churn"):
+        for scenario_name in (
+            "table3", "robustness", "churn", "retrieval_load", "segmentation"
+        ):
             params = resolve_params(get_scenario(scenario_name))
             assert params["backend"] == "vectorized"
             params = resolve_params(

@@ -128,6 +128,65 @@ class TestBench:
         assert "speedup=" in out
 
 
+class TestBenchBackendAll:
+    _TINY_SEG = [
+        "--set", "size_ratios=0.5", "--set", "limit_fractions=0.25",
+        "--set", "n_files=4", "--set", "trials=1",
+    ]
+
+    def test_sweeps_every_backend_in_one_invocation(self, tmp_path, capsys):
+        out_path = tmp_path / "backends.json"
+        code = main(
+            ["bench", "segmentation", "--backend", "all", "--seed", "2",
+             *self._TINY_SEG, "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backends=reference,vectorized" in out
+        assert "speedup_vs_reference" in out
+        assert "per-trial rows identical across backends: True" in out
+        artifact = json.loads(out_path.read_text())
+        assert artifact["kind"] == "scenario_backend_sweep"
+        assert set(artifact["backends"]) == {"reference", "vectorized"}
+        for entry in artifact["backends"].values():
+            assert entry["wall_seconds"] > 0
+            assert "speedup_vs_reference" in entry
+        assert artifact["rows_identical"] is True
+        assert artifact["scenario"] == "segmentation"
+        assert artifact["seed"] == 2
+
+    def test_min_speedup_gate_can_fail(self, capsys):
+        code = main(
+            ["bench", "segmentation", "--backend", "all", "--min-speedup", "1000",
+             *self._TINY_SEG]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "speedup gate" in out
+        assert "FAIL" in out
+
+    def test_all_conflicts_with_set_backend(self, capsys):
+        code = main(
+            ["bench", "segmentation", "--backend", "all",
+             "--set", "backend=reference"]
+        )
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_all_on_scenario_without_backend_param(self, capsys):
+        assert main(["bench", "deposit", "--backend", "all"]) == 2
+        assert "no 'backend' parameter" in capsys.readouterr().err
+
+    def test_unknown_backend_name_on_bench_is_an_error(self, capsys):
+        assert main(["bench", "segmentation", "--backend", "cuda"]) == 2
+        assert "unknown kernel backend" in capsys.readouterr().err
+
+    def test_run_does_not_accept_all(self, capsys):
+        """'all' is a bench-only sweep; run treats it as a backend name."""
+        assert main(["run", "segmentation", "--backend", "all"]) == 2
+        assert "unknown kernel backend" in capsys.readouterr().err
+
+
 class TestBackendFlag:
     def test_backend_flag_lands_in_manifest(self, tmp_path, capsys):
         out_path = tmp_path / "robust.json"

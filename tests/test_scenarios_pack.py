@@ -6,6 +6,7 @@ import pytest
 
 from repro.runner.executor import derive_trial_seed, run_scenario
 from repro.runner.registry import get_scenario, load_builtin_scenarios, resolve_params
+from repro.runner.results import jsonify
 from repro.scenarios.churn import run_churn_trial
 from repro.scenarios.retrieval import run_retrieval_trial
 from repro.scenarios.segmentation import run_segmentation_trial
@@ -148,6 +149,82 @@ class TestRetrievalLoad:
         )
         assert manifest.trial_count == 2
         assert [row["rate_per_s"] for row in manifest.summary] == [2.0, 8.0]
+
+
+class TestBackendAndPoolIdentity:
+    """Regression pack for the sampler kernelisation: end-to-end scenario
+    rows must be byte-identical across kernel backends and across serial
+    vs pooled execution."""
+
+    TRIAL_FNS = {
+        "churn": (run_churn_trial, TINY_CHURN),
+        "retrieval_load": (run_retrieval_trial, TINY_RETRIEVAL),
+        "segmentation": (run_segmentation_trial, TINY_SEG),
+    }
+
+    @pytest.mark.parametrize("name", sorted(TRIAL_FNS))
+    def test_trial_rows_identical_across_backends(self, name):
+        trial_fn, tiny = self.TRIAL_FNS[name]
+        rows = {
+            backend: trial_fn(_task(name, seed_root=4, **tiny, backend=backend))
+            for backend in ("reference", "vectorized")
+        }
+        assert rows["reference"] == rows["vectorized"]
+
+    @pytest.mark.parametrize("name", sorted(TRIAL_FNS))
+    def test_manifest_rows_identical_across_backends(self, name):
+        _, tiny = self.TRIAL_FNS[name]
+        manifests = {
+            backend: run_scenario(
+                name, dict(tiny, backend=backend), workers=1, seed=6
+            )
+            for backend in ("reference", "vectorized")
+        }
+        assert jsonify(manifests["reference"].rows) == jsonify(
+            manifests["vectorized"].rows
+        )
+        for backend, manifest in manifests.items():
+            assert manifest.params["backend"] == backend
+
+    @pytest.mark.parametrize("name", sorted(TRIAL_FNS))
+    def test_serial_and_pooled_runs_identical(self, name):
+        _, tiny = self.TRIAL_FNS[name]
+        overrides = dict(tiny, trials=2)
+        serial = run_scenario(name, overrides, workers=1, seed=9)
+        pooled = run_scenario(name, overrides, workers=2, seed=9)
+        assert serial.trial_rows_equal(pooled)
+
+    def test_campaign_backend_sweep_serial_vs_pooled(self, tmp_path):
+        """A campaign sweeping the backend axis: pooled execution matches
+        serial execution cell for cell, and within each run the two
+        backend cells carry identical rows."""
+        from repro.campaign import plan_campaign, run_campaign
+        from repro.campaign.spec import CampaignSpec, ScenarioEntry
+        from repro.campaign.store import ResultStore
+
+        spec = CampaignSpec(
+            name="backend-sweep",
+            entries=(
+                ScenarioEntry(
+                    scenario="churn",
+                    params=dict(TINY_CHURN),
+                    sweep={"backend": ("reference", "vectorized")},
+                    seeds=(3,),
+                ),
+            ),
+        )
+        assert len(plan_campaign(spec)) == 2
+        results = {}
+        for label, workers in (("serial", 1), ("pooled", 2)):
+            store = ResultStore(tmp_path / label)
+            outcome = run_campaign(spec, store, workers=workers)
+            results[label] = {
+                cell.cell.params["backend"]: jsonify(cell.manifest.rows)
+                for cell in outcome.outcomes
+            }
+        assert results["serial"] == results["pooled"]
+        for rows_by_backend in results.values():
+            assert rows_by_backend["reference"] == rows_by_backend["vectorized"]
 
 
 class TestSegmentation:
