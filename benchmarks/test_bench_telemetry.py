@@ -1,0 +1,77 @@
+"""Benchmark: telemetry cost -- the no-op path and the enabled path.
+
+Two properties keep ambient instrumentation acceptable on protocol hot
+paths:
+
+* **disabled**: a span call is one boolean check returning a shared
+  no-op object (asserted here at a generous per-call budget, so a loaded
+  CI box cannot flake the gate);
+* **enabled**: recording never perturbs the deterministic rows, and its
+  wall overhead on the pinned churn shape is small.  The hard <5% gate
+  lives in ``benchmarks/bench_telemetry.py`` (best-of-N, run by the CI
+  `trace-smoke` job); this test records the observed overhead for the
+  summary table and only asserts a deliberately loose bound, because a
+  single pytest-collected run has no repeats to suppress scheduler
+  noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import telemetry
+from repro.runner.executor import run_scenario
+from repro.runner.registry import load_builtin_scenarios
+
+CHURN_PARAMS = {"trials": 2, "cycles": 3, "files": 4}
+
+
+def test_disabled_span_overhead(benchmark, record):
+    """200k disabled span entries; budget ~5 us/call (real cost ~100 ns)."""
+    telemetry.reset()
+    span = telemetry.span
+
+    def spin():
+        for _ in range(200_000):
+            with span("bench.noop"):
+                pass
+
+    benchmark.pedantic(spin, rounds=1, iterations=1)
+    wall = benchmark.stats.stats.min
+    per_call_ns = wall / 200_000 * 1e9
+    record("telemetry disabled span cost", f"{per_call_ns:.0f} ns/call", "~0 (no-op)")
+    assert telemetry.events() == []
+    assert wall < 1.0, f"disabled span path took {wall:.3f}s for 200k calls"
+
+
+def test_enabled_run_rows_identical_and_overhead_recorded(benchmark, record):
+    """Tracing a churn run must not change one row byte; overhead is small."""
+    load_builtin_scenarios()
+    telemetry.reset()
+    started = time.perf_counter()
+    untraced = run_scenario("churn", overrides=CHURN_PARAMS, seed=0)
+    untraced_wall = time.perf_counter() - started
+
+    def traced_run():
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            return run_scenario("churn", overrides=CHURN_PARAMS, seed=0)
+        finally:
+            telemetry.reset()
+
+    traced = benchmark.pedantic(traced_run, rounds=1, iterations=1)
+    traced_wall = benchmark.stats.stats.min
+    overhead_pct = 100.0 * (traced_wall - untraced_wall) / untraced_wall
+    record(
+        "telemetry enabled overhead (1 run, unrepeated)",
+        f"{overhead_pct:+.1f}%",
+        "<5% (gated best-of-N in bench_telemetry.py)",
+    )
+    assert traced.trial_rows_equal(untraced)
+    assert traced.rows == untraced.rows
+    assert traced.telemetry and traced.telemetry["spans"]
+    # Loose single-shot bound: catches a pathological regression (an
+    # accidentally quadratic buffer, tracing left enabled in a loop)
+    # without flaking on scheduler noise.
+    assert overhead_pct < 50.0, f"telemetry overhead {overhead_pct:.1f}% is pathological"

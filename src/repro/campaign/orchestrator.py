@@ -17,15 +17,19 @@ makes the store safe to share between them.
 from __future__ import annotations
 
 import json
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro import telemetry
 from repro.campaign.plan import CampaignCell, plan_campaign
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.runner.executor import create_worker_pool, run_scenario
 from repro.runner.results import RunManifest
+
+logger = logging.getLogger("repro.campaign.orchestrator")
 
 __all__ = ["CellOutcome", "CampaignResult", "run_campaign"]
 
@@ -38,6 +42,12 @@ class CellOutcome:
     key: str
     cached: bool
     manifest: RunManifest
+    #: Wall time spent settling this cell (store lookup + execution);
+    #: observability only, never part of cache keys or reports' identity.
+    wall_seconds: float = 0.0
+    #: The store-lookup share of ``wall_seconds`` (the cell's "wait" cost
+    #: as opposed to its "run" cost; all of it for a cache hit).
+    lookup_seconds: float = 0.0
 
     @property
     def trials_executed(self) -> int:
@@ -95,31 +105,58 @@ def run_campaign(
         raise ValueError("workers must be >= 1")
     cells = plan_campaign(spec)
     result = CampaignResult(spec=spec, workers=workers)
-    started = time.time()
+    started = time.perf_counter()
     pool = None
     try:
         for cell in cells:
+            cell_started = time.perf_counter()
             key = store.key_for(cell.scenario, cell.params, cell.seed)
-            manifest = None if force else store.get(cell.scenario, cell.params, cell.seed)
+            with telemetry.span(
+                "campaign.cell.lookup", category="campaign", cell=cell.label
+            ):
+                manifest = (
+                    None if force else store.get(cell.scenario, cell.params, cell.seed)
+                )
+            lookup_seconds = time.perf_counter() - cell_started
             cached = manifest is not None
+            telemetry.counter(
+                "campaign.cache_hits" if cached else "campaign.cache_misses",
+                category="campaign",
+            )
             if manifest is None:
                 if pool is None and workers > 1:
                     pool = create_worker_pool(workers)
                     result.pools_created += 1
-                manifest = run_scenario(
-                    cell.scenario,
-                    overrides=cell.params,
-                    workers=workers,
-                    seed=cell.seed,
-                    pool=pool,
-                )
+                with telemetry.span(
+                    "campaign.cell.run", category="campaign",
+                    cell=cell.label, scenario=cell.scenario,
+                ):
+                    manifest = run_scenario(
+                        cell.scenario,
+                        overrides=cell.params,
+                        workers=workers,
+                        seed=cell.seed,
+                        pool=pool,
+                    )
                 store.put(manifest)
                 # Round-trip through the serialised form so downstream
                 # consumers (the report) see exactly what a later cached
                 # run will load -- sorted-key JSON -- keeping first-run
                 # and fully-cached-run reports byte-identical.
                 manifest = RunManifest.from_dict(json.loads(manifest.to_json()))
-            outcome = CellOutcome(cell=cell, key=key, cached=cached, manifest=manifest)
+            wall_seconds = time.perf_counter() - cell_started
+            logger.info(
+                "cell %s: %s in %.3fs (lookup %.3fs)",
+                cell.label, "hit" if cached else "run", wall_seconds, lookup_seconds,
+            )
+            outcome = CellOutcome(
+                cell=cell,
+                key=key,
+                cached=cached,
+                manifest=manifest,
+                wall_seconds=wall_seconds,
+                lookup_seconds=lookup_seconds,
+            )
             result.outcomes.append(outcome)
             if progress is not None:
                 progress(outcome)
@@ -127,5 +164,5 @@ def run_campaign(
         if pool is not None:
             pool.close()
             pool.join()
-    result.duration_seconds = time.time() - started
+    result.duration_seconds = time.perf_counter() - started
     return result

@@ -10,9 +10,11 @@ Turns a campaign's per-cell manifests into cross-cell tables:
   collapsing the other axes and seeds.
 
 Rendered as a markdown report plus a flat CSV.  Both are functions of
-*content only* -- cell keys, parameters and summary statistics, never
-wall-clock times, worker counts or cache hit/miss -- so re-running a
-fully cached campaign reproduces them byte-for-byte, which CI asserts.
+*store content only* -- cell keys, parameters, summary statistics, and
+the per-cell timing columns (``trials``, ``wall_s``) read from the
+*stored* manifest's ``duration_seconds``, never from the current run's
+clock or cache hit/miss state -- so re-running a fully cached campaign
+reproduces them byte-for-byte, which CI asserts.
 """
 
 from __future__ import annotations
@@ -37,7 +39,9 @@ __all__ = [
 ]
 
 #: Columns identifying a cell, emitted ahead of scenario summary columns.
-_CELL_COLUMNS = ("scenario", "seed", "cell")
+#: ``trials``/``wall_s`` come from the stored manifest (how much work the
+#: cell cost when it actually executed), so cached re-runs repeat them.
+_CELL_COLUMNS = ("scenario", "seed", "cell", "trials", "wall_s")
 
 
 def _cell_value(value: object) -> object:
@@ -62,6 +66,8 @@ def cell_rows(outcomes: Sequence[CellOutcome]) -> Dict[str, List[Dict[str, objec
             "scenario": cell.scenario,
             "seed": cell.seed,
             "cell": outcome.key[:12],
+            "trials": outcome.manifest.trial_count,
+            "wall_s": round(outcome.manifest.duration_seconds, 3),
         }
         for axis, value in cell.sweep_point.items():
             prefix[f"sweep:{axis}"] = _cell_value(value)

@@ -37,6 +37,7 @@ from repro.core.sector import SectorRecord, SectorState
 from repro.core.selector import CapacitySelector
 from repro.crypto.prng import DeterministicPRNG
 from repro.kernels import KernelBackend
+from repro.telemetry import counter, traced
 
 __all__ = ["FileInsurerProtocol", "ProtocolError", "RefreshNotice"]
 
@@ -240,6 +241,7 @@ class FileInsurerProtocol:
     # ==================================================================
     # File protocol -- client requests
     # ==================================================================
+    @traced("protocol.file_add", category="protocol")
     def file_add(self, owner: str, size: int, value: int, merkle_root: bytes) -> int:
         """``File Add``: allocate ``cp`` sectors for a new file.
 
@@ -520,6 +522,7 @@ class FileInsurerProtocol:
             index = self.prng.randint(0, descriptor.replica_count - 1)
             self._auto_refresh(file_id, index)
 
+    @traced("protocol.refresh", category="protocol")
     def _auto_refresh(self, file_id: int, index: int) -> None:
         """``Auto Refresh`` (Figure 9): move one replica to a random sector."""
         descriptor = self.files.get(file_id)
@@ -561,6 +564,7 @@ class FileInsurerProtocol:
             deadline=deadline,
         )
         self.refresh_notices.append(notice)
+        counter("protocol.refresh_notices", category="protocol")
         self.events.emit(
             EventType.FILE_REFRESH_STARTED,
             self.now,

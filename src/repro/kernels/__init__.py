@@ -38,8 +38,11 @@ Future backends (numba, multiprocess sharding) plug in by subclassing
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+import numpy as np
+
+from repro import telemetry
 from repro.kernels.base import KernelBackend
 from repro.kernels.reference import ReferenceKernels
 from repro.kernels.sampling import BatchDrawResult, sampler_stream
@@ -49,6 +52,7 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
     "BatchDrawResult",
+    "InstrumentedBackend",
     "KernelBackend",
     "KernelError",
     "ReferenceKernels",
@@ -99,6 +103,84 @@ def resolve_backend_name(name: Optional[str] = None) -> str:
     return requested
 
 
+class InstrumentedBackend(KernelBackend):
+    """A recording proxy around a real backend (telemetry-enabled runs).
+
+    Delegates every kernel verbatim -- results are bit-identical to the
+    wrapped backend's, because the only added work is reading the clock
+    and appending to the telemetry buffer, never consuming RNG words --
+    while recording one ``kernel.<name>`` span per call (batch size and
+    backend in the span args) and a per-kernel draw/move counter.
+    :func:`get_backend` wraps resolved backends in this proxy only while
+    telemetry is enabled, so disabled runs dispatch with zero
+    indirection.
+    """
+
+    def __init__(self, inner: KernelBackend) -> None:
+        self._inner = inner
+        self.name = inner.name
+
+    def place_backups(
+        self, rng: "np.random.Generator", sizes: "np.ndarray", n_sectors: int
+    ) -> Tuple["np.ndarray", "np.ndarray"]:
+        with telemetry.span(
+            "kernel.place_backups", category="kernel",
+            backend=self.name, batch=int(len(sizes)),
+        ):
+            result = self._inner.place_backups(rng, sizes, n_sectors)
+        telemetry.counter("kernel.place_backups.backups", int(len(sizes)))
+        return result
+
+    def refresh_moves(
+        self,
+        sizes: "np.ndarray",
+        usage: "np.ndarray",
+        assignments: "np.ndarray",
+        chosen: "np.ndarray",
+        targets: "np.ndarray",
+        snapshot_after: Sequence[int] = (),
+    ) -> Tuple[float, List["np.ndarray"]]:
+        with telemetry.span(
+            "kernel.refresh_moves", category="kernel",
+            backend=self.name, batch=int(len(chosen)),
+        ):
+            result = self._inner.refresh_moves(
+                sizes, usage, assignments, chosen, targets, snapshot_after
+            )
+        telemetry.counter("kernel.refresh_moves.moves", int(len(chosen)))
+        return result
+
+    def greedy_select(
+        self,
+        capacities: "np.ndarray",
+        placements: Sequence[Sequence[int]],
+        values: Sequence[float],
+        budget: float,
+    ) -> Set[int]:
+        with telemetry.span(
+            "kernel.greedy_select", category="kernel",
+            backend=self.name, sectors=int(len(capacities)),
+        ):
+            result = self._inner.greedy_select(capacities, placements, values, budget)
+        telemetry.counter("kernel.greedy_select.calls")
+        return result
+
+    def batch_weighted_draw(
+        self,
+        rng: "np.random.Generator",
+        weights: Sequence[int],
+        ops: Sequence[Tuple],
+        free: Optional[Sequence[int]] = None,
+    ) -> BatchDrawResult:
+        with telemetry.span(
+            "kernel.batch_weighted_draw", category="kernel",
+            backend=self.name, ops=int(len(ops)),
+        ):
+            result = self._inner.batch_weighted_draw(rng, weights, ops, free)
+        telemetry.counter("kernel.draws", int(result.attempts))
+        return result
+
+
 def get_backend(
     backend: Optional[Union[str, KernelBackend]] = None
 ) -> KernelBackend:
@@ -107,7 +189,13 @@ def get_backend(
     Strings resolve via :func:`resolve_backend_name`; an already-built
     :class:`KernelBackend` passes through untouched, which lets tests and
     future callers inject custom backends without registering them.
+    While telemetry is enabled, resolved backends come wrapped in
+    :class:`InstrumentedBackend` so every kernel call is recorded; the
+    wrapped results are bit-identical to the bare backend's.
     """
     if isinstance(backend, KernelBackend):
         return backend
-    return _BACKENDS[resolve_backend_name(backend)]
+    resolved = _BACKENDS[resolve_backend_name(backend)]
+    if telemetry.is_enabled():
+        return InstrumentedBackend(resolved)
+    return resolved

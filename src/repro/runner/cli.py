@@ -19,6 +19,10 @@ list|run|bench|diff|campaign``.
 * ``repro diff <a.json> <b.json>`` -- compare two run manifests: seed and
   parameter provenance plus per-metric deltas with CI-overlap verdicts;
   exits non-zero when the manifests' metric sets do not even match.
+  Manifests with per-trial stats also get straggler flagging.
+* ``repro trace <manifest.json>`` -- print the phase-breakdown (span) and
+  counter tables of a run executed with ``--trace`` (see
+  ``docs/observability.md``).
 * ``repro campaign run|status|report <spec.toml>`` -- declarative
   multi-scenario sweeps through one shared worker pool, backed by the
   content-addressed result store (see :mod:`repro.campaign`);
@@ -30,12 +34,26 @@ simulation-kernel backend (:mod:`repro.kernels`) for scenarios that
 expose a ``backend`` parameter; the resolved name lands in the run
 manifest so ``repro diff`` flags backend drift.
 
+``repro run <scenario> --trace out.json`` records telemetry spans across
+the executor, kernel, protocol and sim layers and writes a Chrome
+trace-event artifact (open in Perfetto or ``chrome://tracing``) plus a
+``telemetry.json`` phase summary next to the run manifest.  Telemetry is
+inert: rows are byte-identical with and without ``--trace``.
+
+``repro --log-level debug <command>`` (or ``REPRO_LOG=debug``) turns on
+the ``logging`` output of the runner and campaign layers;
+:func:`configure_logging` is the one place the root handler is set up,
+and fork-started pool workers inherit the level instead of staying
+silent.
+
 Installed as the ``repro`` console script by ``pyproject.toml``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 import time
 from typing import Dict, List, Optional, Sequence
@@ -48,7 +66,33 @@ from repro.runner.registry import (
     load_builtin_scenarios,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "configure_logging"]
+
+#: Environment variable providing the default ``--log-level``.
+LOG_ENV_VAR = "REPRO_LOG"
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def configure_logging(level: Optional[str] = None) -> None:
+    """Set up the one root logging handler for every ``repro`` layer.
+
+    ``level`` falls back to ``$REPRO_LOG``, then ``warning``.  Called at
+    CLI entry, *before* any worker pool exists, so fork-started pool
+    workers inherit the configured handler and level -- a worker's
+    ``logger.info`` lines show up exactly like the parent's.  Library
+    callers may call it too; reconfiguration is idempotent (``force=``).
+    """
+    name = (level or os.environ.get(LOG_ENV_VAR) or "warning").strip().lower()
+    if name not in _LOG_LEVELS:
+        raise ScenarioError(
+            f"unknown log level {name!r}; choose from {', '.join(_LOG_LEVELS)}"
+        )
+    logging.basicConfig(
+        level=getattr(logging, name.upper()),
+        format="%(asctime)s %(levelname)s [pid %(process)d] %(name)s: %(message)s",
+        force=True,
+    )
 
 _EPILOG = """\
 registered scenarios (python -m repro list for parameters):
@@ -60,8 +104,11 @@ examples:
   repro run churn --set cycles=12 --set crash_rate=0.2 --out runs/churn.json
   repro run churn --resume runs/churn.json --out runs/churn.json
   repro run table3 --backend reference   # kernel backend (hot-loop oracle)
+  repro run churn --trace trace.json --out runs/churn.json
+  repro trace runs/churn.json            # phase breakdown of a traced run
   repro bench churn --backend all --out BENCH_churn_backends.json
   repro diff runs/a.json runs/b.json
+  repro --log-level info run churn       # or REPRO_LOG=info
   repro campaign run examples/table3_campaign.toml --workers 4
   repro campaign run --matrix table3:rounds=20,50 --workers 4
   repro campaign status examples/table3_campaign.toml
@@ -85,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="FileInsurer reproduction: experiment orchestration CLI.",
         epilog=_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=_LOG_LEVELS,
+        help="logging verbosity for every repro layer, pool workers "
+        "included (default: $REPRO_LOG or warning)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -156,6 +210,24 @@ def build_parser() -> argparse.ArgumentParser:
                     "trials already present are skipped"
                 ),
             )
+            sub.add_argument(
+                "--trace",
+                default=None,
+                metavar="TRACE_JSON",
+                help="record telemetry spans (executor/kernel/protocol/sim) "
+                "and write a Chrome trace-event artifact here, plus a "
+                "telemetry.json phase summary next to the manifest; rows "
+                "are byte-identical with or without tracing",
+            )
+
+    trace = commands.add_parser(
+        "trace",
+        help="print the phase-breakdown and counter tables of a traced run",
+    )
+    trace.add_argument(
+        "manifest",
+        help="run manifest written by 'repro run --trace ... --out <manifest>'",
+    )
 
     diff = commands.add_parser(
         "diff", help="compare two run manifests (provenance + metric deltas)"
@@ -307,13 +379,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             raise ScenarioError(
                 f"cannot load resume manifest {args.resume!r}: {error}"
             ) from None
-    manifest = run_scenario(
-        args.scenario,
-        overrides=overrides,
-        workers=workers,
-        seed=args.seed,
-        resume=resume,
-    )
+    if args.trace:
+        from repro import telemetry
+
+        telemetry.enable()
+    try:
+        manifest = run_scenario(
+            args.scenario,
+            overrides=overrides,
+            workers=workers,
+            seed=args.seed,
+            resume=resume,
+        )
+    except BaseException:
+        if args.trace:
+            from repro import telemetry
+
+            telemetry.reset()  # do not leak a half-recorded buffer
+        raise
     print(
         f"scenario={manifest.scenario} seed={manifest.seed} "
         f"workers={manifest.workers} trials={manifest.trial_count} "
@@ -328,6 +411,81 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out:
         path = manifest.save(args.out)
         print(f"\nmanifest written to {path}")
+    if args.trace:
+        _write_trace_artifacts(args, manifest)
+    return 0
+
+
+def _write_trace_artifacts(args: argparse.Namespace, manifest) -> int:
+    """Export the Chrome trace + telemetry summary of a ``--trace`` run."""
+    from pathlib import Path
+
+    from repro import telemetry
+
+    telemetry.disable()
+    events = telemetry.drain()
+    trace_path = telemetry.write_chrome_trace(
+        args.trace,
+        events,
+        metadata={
+            "scenario": manifest.scenario,
+            "seed": manifest.seed,
+            "workers": manifest.workers,
+            "version": manifest.version,
+        },
+    )
+    print(f"\ntrace written to {trace_path} ({len(events)} events; "
+          "open in Perfetto or chrome://tracing)")
+    summary = manifest.telemetry or telemetry.summarize_events(events)
+    anchor = Path(args.out) if args.out else Path(args.trace)
+    summary_path = telemetry.write_summary(
+        anchor.with_name(anchor.stem + ".telemetry.json"), summary
+    )
+    print(f"telemetry summary written to {summary_path}")
+    _print_telemetry_summary(summary)
+    return 0
+
+
+def _print_telemetry_summary(summary) -> None:
+    from repro.telemetry import counter_table, phase_table
+
+    spans = phase_table(summary)
+    if spans:
+        print("\nphase breakdown (spans; nested spans overlap)")
+        print(format_table(spans))
+    counters = counter_table(summary)
+    if counters:
+        print("\ncounters")
+        print(format_table(counters))
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.runner.results import RunManifest
+
+    try:
+        manifest = RunManifest.load(args.manifest)
+    except (OSError, ValueError) as error:
+        raise ScenarioError(f"cannot load manifest: {error}") from None
+    if not manifest.telemetry:
+        print(
+            f"error: manifest {args.manifest!r} carries no telemetry summary; "
+            "re-run with 'repro run ... --trace trace.json --out <manifest>'",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"scenario={manifest.scenario} seed={manifest.seed} "
+        f"workers={manifest.workers} trials={manifest.trial_count} "
+        f"wall={manifest.duration_seconds:.2f}s"
+    )
+    _print_telemetry_summary(manifest.telemetry)
+    if manifest.trial_stats:
+        from repro.runner.diff import straggler_rows
+
+        stragglers = straggler_rows(manifest)
+        if stragglers:
+            print("\nstraggler trials (vs the run's median trial wall)")
+            print(format_table(stragglers))
     return 0
 
 
@@ -627,12 +785,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
     try:
+        configure_logging(args.log_level)
         if args.command == "list":
             return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "diff":
             return _cmd_diff(args)
         if args.command == "campaign":

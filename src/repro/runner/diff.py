@@ -24,7 +24,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.runner.aggregate import StreamingAggregator
 from repro.runner.results import RunManifest, jsonify
 
-__all__ = ["diff_manifests", "format_diff", "summary_rows"]
+__all__ = ["diff_manifests", "format_diff", "straggler_rows", "summary_rows"]
+
+#: A trial is a straggler when its wall time exceeds this multiple of the
+#: run's median trial wall time (and the excess is not measurement noise).
+STRAGGLER_FACTOR = 3.0
 
 #: Statistic suffixes produced by :func:`repro.runner.aggregate.summarize`.
 _STAT_SUFFIXES = ("_n", "_mean", "_stddev", "_ci95", "_min", "_max")
@@ -66,6 +70,42 @@ def summary_rows(manifest: RunManifest) -> List[Dict[str, object]]:
     for key in sorted(aggregators):
         synthesised.update(aggregators[key].as_row(prefix=key))
     return [synthesised] if synthesised else []
+
+
+def straggler_rows(
+    manifest: RunManifest, factor: float = STRAGGLER_FACTOR
+) -> List[Dict[str, object]]:
+    """Trials whose wall time is pathological for their run.
+
+    Reads the manifest's ``trial_stats`` (per-trial wall time and worker
+    pid, recorded by the executor since manifest format 1 grew the field;
+    older manifests simply yield no rows).  A trial is flagged when its
+    wall exceeds ``factor`` times the run's median trial wall *and* the
+    excess is above scheduling noise (1 ms) -- the signature of a stuck
+    worker or a pathological parameter cell rather than jitter.
+    """
+    walls: List[Tuple[int, float, object]] = []
+    for stat in manifest.trial_stats:
+        wall = _numeric(stat.get("wall_seconds"))
+        trial = stat.get("trial")
+        if wall is not None and isinstance(trial, int):
+            walls.append((trial, wall, stat.get("pid", "")))
+    if not walls:
+        return []
+    ordered = sorted(wall for _, wall, _ in walls)
+    median = ordered[len(ordered) // 2]
+    flagged: List[Dict[str, object]] = []
+    for trial, wall, pid in walls:
+        if wall > factor * median and wall - median > 1e-3:
+            flagged.append(
+                {
+                    "trial": trial,
+                    "pid": pid,
+                    "wall_seconds": round(wall, 6),
+                    "x_median": round(wall / median, 1) if median > 0 else float("inf"),
+                }
+            )
+    return flagged
 
 
 def _leading_keys(row: Mapping[str, object]) -> List[str]:
@@ -185,6 +225,11 @@ def diff_manifests(
         "provenance": provenance,
         "params": params,
         "metrics": metric_rows,
+        # Pathological trial timings per manifest (informational only --
+        # timing is observability, never part of the byte-identity
+        # comparison or the exit code).
+        "stragglers_a": straggler_rows(a),
+        "stragglers_b": straggler_rows(b),
         # Metrics present in exactly one manifest: a silent source of
         # misreadings (a delta table that *looks* complete but dropped a
         # metric).  Reported here and treated as a failure by the CLI.
@@ -230,6 +275,14 @@ def format_diff(diff: Mapping[str, object]) -> str:
             sections.append(f"  only in a: {', '.join(only_a)}")
         if only_b:
             sections.append(f"  only in b: {', '.join(only_b)}")
+    for side in ("a", "b"):
+        stragglers = diff.get(f"stragglers_{side}") or []
+        if stragglers:
+            sections.append(
+                f"\nstraggler trials in {side} (> {STRAGGLER_FACTOR:.0f}x the "
+                "median trial wall; informational)"
+            )
+            sections.append(format_table(stragglers))  # type: ignore[arg-type]
     sections.append(
         "\nper-trial rows identical: " + ("yes" if diff["rows_identical"] else "no")
     )

@@ -23,13 +23,16 @@ merged row set is byte-identical to an uninterrupted run's
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import multiprocessing.pool
 import os
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro import telemetry
 from repro.crypto.prng import DeterministicPRNG
 from repro.runner.registry import (
     ScenarioError,
@@ -43,12 +46,16 @@ from repro.runner.results import RunManifest, jsonify
 __all__ = [
     "derive_trial_seed",
     "create_worker_pool",
+    "TrialBatch",
+    "execute_trials",
     "run_trials",
     "run_scenario",
     "default_workers",
     "match_resume_rows",
     "ResumeError",
 ]
+
+logger = logging.getLogger("repro.runner.executor")
 
 
 class ResumeError(ScenarioError):
@@ -91,12 +98,46 @@ def create_worker_pool(workers: int) -> multiprocessing.pool.Pool:
     return context.Pool(processes=workers)
 
 
-def _execute_trial(payload: Tuple[TrialFn, Dict[str, object]]) -> Dict[str, object]:
-    """Run one trial (module-level so it pickles into worker processes)."""
-    trial_fn, task = payload
-    row = dict(trial_fn(task))
+def _execute_trial(
+    payload: Tuple[TrialFn, Dict[str, object], Optional[float]]
+) -> Dict[str, object]:
+    """Run one trial (module-level so it pickles into worker processes).
+
+    Returns a result *envelope*: the trial's row plus per-trial
+    observability (wall time, worker pid, and -- when telemetry is
+    enabled -- the events recorded during the trial, captured in an
+    isolated buffer so they can be shipped back to the parent process).
+    ``enqueued`` is the parent's ``perf_counter`` at submission; Linux's
+    monotonic clock is system-wide, so the queue-wait span it implies is
+    meaningful even inside a forked worker.
+    """
+    trial_fn, task, enqueued = payload
+    started = time.perf_counter()
+    events: Optional[List[Dict[str, object]]] = None
+    if telemetry.is_enabled():
+        with telemetry.capture() as events:
+            if enqueued is not None:
+                telemetry.emit_span(
+                    "trial.queue",
+                    enqueued,
+                    started,
+                    category="executor",
+                    trial=task["trial"],
+                )
+            with telemetry.span(
+                "trial.run", category="executor", trial=task["trial"], seed=task["seed"]
+            ):
+                row = dict(trial_fn(task))
+    else:
+        row = dict(trial_fn(task))
+    wall = time.perf_counter() - started
     # Trial index and seed lead every row so runs are diffable by eye.
-    return {"trial": task["trial"], "seed": task["seed"], **row}
+    return {
+        "row": {"trial": task["trial"], "seed": task["seed"], **row},
+        "wall_seconds": wall,
+        "pid": os.getpid(),
+        "events": events,
+    }
 
 
 def match_resume_rows(
@@ -155,15 +196,31 @@ def match_resume_rows(
     return cached
 
 
-def run_trials(
+@dataclass
+class TrialBatch:
+    """The executed trials' rows plus their observability side channel.
+
+    ``rows`` is the deterministic payload (identical with telemetry on or
+    off, serial or pooled); ``trial_stats`` carries one
+    ``{"trial", "wall_seconds", "pid"}`` entry per *executed* trial so
+    stragglers are inspectable after the fact; ``events`` holds the
+    telemetry events shipped back from workers (empty while disabled).
+    """
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    trial_stats: List[Dict[str, object]] = field(default_factory=list)
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+
+def execute_trials(
     spec: ScenarioSpec,
     trials: Sequence[Mapping[str, object]],
     workers: int = 1,
     seed: int = 0,
     cached_rows: Optional[Mapping[int, Mapping[str, object]]] = None,
     pool: Optional[multiprocessing.pool.Pool] = None,
-) -> List[Dict[str, object]]:
-    """Execute ``trials`` and return per-trial rows in trial order.
+) -> TrialBatch:
+    """Execute ``trials`` and return rows (in trial order) plus stats.
 
     ``cached_rows`` (trial index -> already-computed row, from
     :func:`match_resume_rows`) short-circuits those trials; only the
@@ -179,7 +236,8 @@ def run_trials(
     if workers < 1:
         raise ValueError("workers must be >= 1")
     cached = dict(cached_rows or {})
-    payloads: List[Tuple[TrialFn, Dict[str, object]]] = []
+    recording = telemetry.is_enabled()
+    payloads: List[Tuple[TrialFn, Dict[str, object], Optional[float]]] = []
     for index, trial in enumerate(trials):
         if index in cached:
             continue
@@ -189,21 +247,62 @@ def run_trials(
         # The undivided root seed, for scenarios whose trials must share
         # one stream (e.g. a common workload across protocols).
         task["root_seed"] = seed
-        payloads.append((spec.trial_fn, task))
+        payloads.append(
+            (spec.trial_fn, task, time.perf_counter() if recording else None)
+        )
+    logger.debug(
+        "scenario %s: executing %d/%d trials (%d cached) with %d workers",
+        spec.name, len(payloads), len(trials), len(cached), workers,
+    )
 
-    if pool is not None and payloads:
-        fresh = pool.map(_execute_trial, payloads)
-    elif workers == 1 or len(payloads) <= 1:
-        fresh = [_execute_trial(payload) for payload in payloads]
-    else:
-        with create_worker_pool(min(workers, len(payloads))) as own_pool:
-            fresh = own_pool.map(_execute_trial, payloads)
+    with telemetry.span(
+        "executor.map", category="executor", scenario=spec.name,
+        trials=len(payloads), workers=workers,
+    ):
+        if pool is not None and payloads:
+            envelopes = pool.map(_execute_trial, payloads)
+        elif workers == 1 or len(payloads) <= 1:
+            envelopes = [_execute_trial(payload) for payload in payloads]
+        else:
+            with create_worker_pool(min(workers, len(payloads))) as own_pool:
+                envelopes = own_pool.map(_execute_trial, payloads)
 
-    if not cached:
-        return fresh
-    merged: Dict[int, Dict[str, object]] = {row["trial"]: row for row in fresh}  # type: ignore[misc]
-    merged.update({index: dict(row) for index, row in cached.items()})
-    return [merged[index] for index in sorted(merged)]
+    batch = TrialBatch()
+    for envelope in envelopes:
+        batch.rows.append(envelope["row"])
+        batch.trial_stats.append(
+            {
+                "trial": envelope["row"]["trial"],
+                "wall_seconds": round(float(envelope["wall_seconds"]), 6),
+                "pid": envelope["pid"],
+            }
+        )
+        if envelope["events"]:
+            batch.events.extend(envelope["events"])
+    if recording:
+        telemetry.extend(batch.events)
+
+    if cached:
+        merged: Dict[int, Dict[str, object]] = {
+            row["trial"]: row for row in batch.rows  # type: ignore[misc]
+        }
+        merged.update({index: dict(row) for index, row in cached.items()})
+        batch.rows = [merged[index] for index in sorted(merged)]
+    return batch
+
+
+def run_trials(
+    spec: ScenarioSpec,
+    trials: Sequence[Mapping[str, object]],
+    workers: int = 1,
+    seed: int = 0,
+    cached_rows: Optional[Mapping[int, Mapping[str, object]]] = None,
+    pool: Optional[multiprocessing.pool.Pool] = None,
+) -> List[Dict[str, object]]:
+    """Rows-only form of :func:`execute_trials` (the original interface)."""
+    return execute_trials(
+        spec, trials, workers=workers, seed=seed, cached_rows=cached_rows, pool=pool
+    ).rows
 
 
 def run_scenario(
@@ -224,6 +323,13 @@ def run_scenario(
     ``pool`` forwards an externally owned worker pool to
     :func:`run_trials` so many scenarios can share one set of workers
     (the campaign orchestrator's path); the caller closes it.
+
+    With telemetry enabled (:mod:`repro.telemetry`), the manifest's
+    ``telemetry`` field carries this run's phase-breakdown summary and
+    the raw events stay in the process buffer for the CLI's ``--trace``
+    exporter; rows are byte-identical either way.  Per-trial wall time
+    and worker pid always land in ``trial_stats`` (cached/resumed trials
+    keep the stats of the run that actually executed them).
     """
     spec = (
         name_or_spec
@@ -236,27 +342,82 @@ def run_scenario(
         raise ValueError(f"scenario {spec.name!r} built an empty trial list")
 
     cached_rows: Optional[Dict[int, Dict[str, object]]] = None
+    prior: Optional[RunManifest] = None
     if resume is not None:
         prior = resume if isinstance(resume, RunManifest) else RunManifest.load(resume)
-        cached_rows = match_resume_rows(spec, trials, seed, params, prior)
+        with telemetry.span("executor.resume_match", category="executor"):
+            cached_rows = match_resume_rows(spec, trials, seed, params, prior)
 
-    started = time.time()
-    rows = run_trials(
-        spec, trials, workers=workers, seed=seed, cached_rows=cached_rows, pool=pool
-    )
-    duration = time.time() - started
+    recording = telemetry.is_enabled()
+    scope = telemetry.capture() if recording else None
+    started = time.perf_counter()
+    if scope is not None:
+        with scope as run_events:
+            batch, summary = _execute_and_aggregate(
+                spec, trials, params, workers, seed, cached_rows, pool
+            )
+        telemetry.extend(run_events)
+    else:
+        run_events = []
+        batch, summary = _execute_and_aggregate(
+            spec, trials, params, workers, seed, cached_rows, pool
+        )
+    duration = time.perf_counter() - started
 
-    summary: List[Dict[str, object]] = []
-    if spec.aggregate is not None:
-        summary = [dict(row) for row in spec.aggregate(rows, params)]
+    trial_stats = _merge_trial_stats(batch.trial_stats, prior)
+    from repro.telemetry.summary import summarize_events
 
     return RunManifest(
         scenario=spec.name,
         params=jsonify(params),
         seed=seed,
         workers=workers,
-        trial_count=len(rows),
+        trial_count=len(batch.rows),
         duration_seconds=duration,
-        rows=jsonify(rows),
+        rows=jsonify(batch.rows),
         summary=jsonify(summary),
+        trial_stats=jsonify(trial_stats),
+        telemetry=summarize_events(run_events) if recording else None,
     )
+
+
+def _execute_and_aggregate(
+    spec: ScenarioSpec,
+    trials: Sequence[Mapping[str, object]],
+    params: Mapping[str, object],
+    workers: int,
+    seed: int,
+    cached_rows: Optional[Mapping[int, Mapping[str, object]]],
+    pool: Optional[multiprocessing.pool.Pool],
+) -> Tuple[TrialBatch, List[Dict[str, object]]]:
+    """The timed core of :func:`run_scenario`: fan out, then aggregate."""
+    batch = execute_trials(
+        spec, trials, workers=workers, seed=seed, cached_rows=cached_rows, pool=pool
+    )
+    summary: List[Dict[str, object]] = []
+    if spec.aggregate is not None:
+        with telemetry.span(
+            "executor.aggregate", category="executor", scenario=spec.name
+        ):
+            summary = [dict(row) for row in spec.aggregate(batch.rows, params)]
+    return batch, summary
+
+
+def _merge_trial_stats(
+    fresh: Sequence[Mapping[str, object]], prior: Optional[RunManifest]
+) -> List[Dict[str, object]]:
+    """Fresh stats plus the resume manifest's stats for cached trials.
+
+    Stats are observability, not identity: a resumed run's rows are
+    byte-identical to an uninterrupted run's, while its ``trial_stats``
+    legitimately mix this process's measurements with the prior run's.
+    """
+    merged: Dict[int, Dict[str, object]] = {}
+    if prior is not None:
+        for stat in prior.trial_stats:
+            index = stat.get("trial")
+            if isinstance(index, int):
+                merged[index] = dict(stat)
+    for stat in fresh:
+        merged[int(stat["trial"])] = dict(stat)  # type: ignore[arg-type]
+    return [merged[index] for index in sorted(merged)]

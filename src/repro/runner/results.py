@@ -83,6 +83,14 @@ class RunManifest:
     version: str = field(default_factory=repo_version)
     created_unix: float = field(default_factory=time.time)
     format: int = MANIFEST_FORMAT
+    #: Per-trial observability -- ``{"trial", "wall_seconds", "pid"}`` per
+    #: executed trial -- so ``repro diff`` can flag stragglers.  Like
+    #: ``duration_seconds``, excluded from every identity comparison.
+    trial_stats: List[Dict[str, Any]] = field(default_factory=list)
+    #: Phase-breakdown summary of a telemetry-enabled run (see
+    #: :mod:`repro.telemetry.summary`); ``None`` when tracing was off.
+    #: Printed by ``repro trace <manifest>``; never part of identity.
+    telemetry: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -127,12 +135,14 @@ class RunManifest:
             "version",
             "created_unix",
             "format",
+            "trial_stats",
+            "telemetry",
         }
         fields = {key: data[key] for key in known if key in data}
         missing = {"scenario", "params", "seed", "workers"} - set(fields)
         if missing:
             raise ValueError(f"manifest missing required fields: {sorted(missing)}")
-        for key in ("rows", "summary"):
+        for key in ("rows", "summary", "trial_stats"):
             if key in fields and not isinstance(fields[key], list):
                 raise ValueError(
                     f"manifest field {key!r} must be a list, got "

@@ -14,6 +14,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.telemetry import counter
+
 __all__ = ["Event", "SimulationEngine"]
 
 
@@ -102,6 +104,8 @@ class SimulationEngine:
             processed += 1
         if until is not None and until > self.now:
             self.now = until
+        if processed:
+            counter("sim.events", processed, category="sim")
         return processed
 
     def stop(self) -> None:

@@ -1,0 +1,73 @@
+"""``repro.telemetry``: spans, counters and trace artifacts.
+
+The observability layer threaded through the runner, the kernel seam,
+the protocol and the campaign orchestrator:
+
+* :mod:`repro.telemetry.core` -- the zero-dependency recorder:
+  ``span("protocol.file_add")`` context managers, ``counter()``
+  accumulators, a ``traced`` decorator, and per-scope ``capture()`` for
+  shipping worker events back through the executor's result envelopes.
+  Disabled (the default) everything is a no-op costing one boolean
+  check, and recording never touches seeded RNG streams -- scenario rows
+  are byte-identical with telemetry on or off.
+* :mod:`repro.telemetry.trace` -- Chrome trace-event-format JSON export
+  (``repro run <scenario> --trace out.json``; open in Perfetto or
+  ``chrome://tracing``) with structural validation on load.
+* :mod:`repro.telemetry.summary` -- the per-run phase breakdown embedded
+  in run manifests and written as ``<run>.telemetry.json``; printed by
+  ``repro trace <manifest>``.
+
+See ``docs/observability.md`` for the span inventory and workflows.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.core import (
+    capture,
+    counter,
+    disable,
+    drain,
+    emit_span,
+    enable,
+    events,
+    extend,
+    is_enabled,
+    reset,
+    span,
+    traced,
+)
+from repro.telemetry.summary import (
+    SUMMARY_FORMAT,
+    counter_table,
+    phase_table,
+    summarize_events,
+    write_summary,
+)
+from repro.telemetry.trace import (
+    load_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "SUMMARY_FORMAT",
+    "capture",
+    "counter",
+    "counter_table",
+    "disable",
+    "drain",
+    "emit_span",
+    "enable",
+    "events",
+    "extend",
+    "is_enabled",
+    "load_chrome_trace",
+    "phase_table",
+    "reset",
+    "span",
+    "summarize_events",
+    "to_chrome_trace",
+    "traced",
+    "write_chrome_trace",
+    "write_summary",
+]

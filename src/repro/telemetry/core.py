@@ -1,0 +1,263 @@
+"""The span/counter recorder: one process-global event buffer.
+
+Design constraints, in priority order:
+
+1. **Inert by default.**  Instrumented code must cost ~nothing when
+   telemetry is disabled: :func:`span` returns one shared no-op context
+   manager after a single module-global boolean check, and
+   :func:`counter` returns immediately.  Nothing here ever touches a
+   seeded RNG stream, so scenario rows are byte-identical with telemetry
+   on or off -- the property ``tests/test_telemetry_integration.py``
+   enforces across both kernel backends.
+2. **Zero dependencies.**  Timestamps come from
+   :func:`time.perf_counter` (monotonic, and on Linux shared across
+   forked pool workers, so parent and worker events align on one
+   timeline); events are plain dictionaries already shaped like Chrome
+   trace events (see :mod:`repro.telemetry.trace`).
+3. **Multiprocessing-aware.**  Events recorded inside a forked pool
+   worker stay in that worker's buffer; the executor isolates them per
+   trial with :func:`capture` and ships them back to the parent in the
+   trial's result envelope, where :func:`extend` merges them (their
+   original ``pid``/``tid``/timestamps intact) into the parent's buffer.
+
+The buffer is process-global rather than threaded through call sites
+because the instrumented layers (protocol, kernels, sim engine) must not
+grow a telemetry parameter on every signature -- the whole point of the
+no-op path is that instrumentation is ambient and free.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "span",
+    "emit_span",
+    "counter",
+    "traced",
+    "capture",
+    "extend",
+    "events",
+    "drain",
+    "reset",
+]
+
+
+class _State:
+    """Mutable module state (a class so tests can snapshot/restore it)."""
+
+    __slots__ = ("enabled", "buffer")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.buffer: List[Dict[str, Any]] = []
+
+
+_STATE = _State()
+
+
+def enable() -> None:
+    """Start recording spans and counters into the process buffer."""
+    _STATE.enabled = True
+
+
+def disable() -> None:
+    """Stop recording; already-buffered events are kept until drained."""
+    _STATE.enabled = False
+
+
+def is_enabled() -> bool:
+    """True while spans/counters are being recorded."""
+    return _STATE.enabled
+
+
+def reset() -> None:
+    """Disable and discard everything (test isolation helper)."""
+    _STATE.enabled = False
+    _STATE.buffer = []
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class _NullSpan:
+    """The shared do-nothing context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; records a Chrome complete ("X") event on exit."""
+
+    __slots__ = ("name", "category", "args", "_start")
+
+    def __init__(self, name: str, category: str, args: Dict[str, Any]) -> None:
+        self.name = name
+        self.category = category
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = time.perf_counter()
+        _STATE.buffer.append(
+            {
+                "name": self.name,
+                "cat": self.category,
+                "ph": "X",
+                "ts": self._start * 1e6,
+                "dur": (end - self._start) * 1e6,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": self.args,
+            }
+        )
+        return False
+
+
+def span(name: str, category: str = "app", **args: Any):
+    """A context manager timing one named phase.
+
+    ``args`` become the event's Chrome-trace ``args`` payload (batch
+    sizes, trial indices, backend names ...).  While telemetry is
+    disabled this returns one shared no-op object; the only residual cost
+    at the call site is building the ``args`` dict.
+    """
+    if not _STATE.enabled:
+        return _NULL_SPAN
+    return _Span(name, category, args)
+
+
+def emit_span(
+    name: str,
+    begin: float,
+    end: float,
+    category: str = "app",
+    pid: Optional[int] = None,
+    tid: Optional[int] = None,
+    **args: Any,
+) -> None:
+    """Record a span from explicit ``perf_counter`` endpoints.
+
+    For phases whose start was observed before the recording scope
+    existed -- e.g. a trial's queue wait, timed from the parent's enqueue
+    timestamp inside the worker.
+    """
+    if not _STATE.enabled:
+        return
+    _STATE.buffer.append(
+        {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "ts": begin * 1e6,
+            "dur": max(0.0, end - begin) * 1e6,
+            "pid": os.getpid() if pid is None else pid,
+            "tid": threading.get_ident() if tid is None else tid,
+            "args": args,
+        }
+    )
+
+
+def counter(name: str, value: float = 1, category: str = "app") -> None:
+    """Accumulate ``value`` onto a named counter (Chrome "C" event)."""
+    if not _STATE.enabled:
+        return
+    _STATE.buffer.append(
+        {
+            "name": name,
+            "cat": category,
+            "ph": "C",
+            "ts": time.perf_counter() * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": {"value": value},
+        }
+    )
+
+
+def traced(name: str, category: str = "app") -> Callable:
+    """Decorator form of :func:`span` for whole functions.
+
+    Disabled cost is one wrapper call plus a boolean check, so it is safe
+    on protocol hot paths (``file_add``, ``_auto_refresh``).
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*fn_args: Any, **fn_kwargs: Any) -> Any:
+            if not _STATE.enabled:
+                return fn(*fn_args, **fn_kwargs)
+            with _Span(name, category, {}):
+                return fn(*fn_args, **fn_kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# Buffer management
+# ----------------------------------------------------------------------
+class _Capture:
+    """Context manager swapping in a fresh buffer; yields the events."""
+
+    __slots__ = ("_saved", "_events")
+
+    def __enter__(self) -> List[Dict[str, Any]]:
+        self._saved = _STATE.buffer
+        self._events: List[Dict[str, Any]] = []
+        _STATE.buffer = self._events
+        return self._events
+
+    def __exit__(self, *exc: object) -> bool:
+        _STATE.buffer = self._saved
+        return False
+
+
+def capture() -> _Capture:
+    """Record into an isolated buffer for the duration of a ``with`` block.
+
+    The yielded list holds exactly the events emitted inside the block;
+    the previous buffer is restored (unmodified) on exit.  The executor
+    uses this to keep each trial's events separate -- both in forked pool
+    workers (whose inherited buffer copy must not leak into envelopes)
+    and in the serial path.
+    """
+    return _Capture()
+
+
+def extend(new_events: Iterable[Dict[str, Any]]) -> None:
+    """Merge already-recorded events (e.g. shipped back from a worker)."""
+    _STATE.buffer.extend(new_events)
+
+
+def events() -> List[Dict[str, Any]]:
+    """The current buffer (live reference; prefer :func:`drain`)."""
+    return _STATE.buffer
+
+
+def drain() -> List[Dict[str, Any]]:
+    """Return all buffered events and clear the buffer."""
+    drained = _STATE.buffer
+    _STATE.buffer = []
+    return drained

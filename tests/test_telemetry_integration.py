@@ -1,0 +1,295 @@
+"""Telemetry end-to-end: inertness, worker shipping, CLI artifacts.
+
+The load-bearing property is **inertness**: enabling telemetry must not
+perturb a single deterministic byte.  Scenario rows are produced from
+seeded PRNG streams the recorder never touches, so a traced run and an
+untraced run of the same (scenario, params, seed) emit byte-identical
+rows -- on both kernel backends, serial or pooled.  Everything else here
+pins the plumbing on top: events shipped back from forked pool workers,
+per-trial stats in the manifest, straggler detection in ``repro diff``,
+the ``--trace``/``repro trace`` CLI surface, and the campaign report's
+timing columns.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.kernels import BACKEND_ENV_VAR, InstrumentedBackend, get_backend
+from repro.runner.cli import main
+from repro.runner.diff import straggler_rows
+from repro.runner.executor import run_scenario
+from repro.runner.registry import load_builtin_scenarios
+from repro.runner.results import RunManifest
+from repro.telemetry import load_chrome_trace
+
+#: A churn shape small enough for test time but large enough to cross
+#: every instrumented layer (protocol file adds, refresh rounds, kernel
+#: draws, executor trials).
+CHURN_PARAMS = {"trials": 2, "cycles": 2, "files": 4}
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def run_churn(seed: int = 7, workers: int = 1) -> RunManifest:
+    load_builtin_scenarios()
+    return run_scenario("churn", overrides=CHURN_PARAMS, workers=workers, seed=seed)
+
+
+class TestInertness:
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_rows_byte_identical_on_vs_off(self, monkeypatch, backend):
+        monkeypatch.setenv(BACKEND_ENV_VAR, backend)
+        plain = run_churn()
+        telemetry.enable()
+        traced = run_churn()
+        telemetry.disable()
+        assert json.dumps(traced.rows, sort_keys=True) == json.dumps(
+            plain.rows, sort_keys=True
+        )
+        assert traced.trial_rows_equal(plain)
+        # The traced run really did record: its manifest carries a summary
+        # with spans from the executor, kernel and protocol layers.
+        assert plain.telemetry is None
+        categories = {
+            entry["category"] for entry in traced.telemetry["spans"].values()
+        }
+        assert {"executor", "kernel", "protocol"} <= categories
+
+    def test_summary_excluded_from_identity(self):
+        plain = run_churn()
+        telemetry.enable()
+        traced = run_churn()
+        assert traced.telemetry != plain.telemetry
+        assert traced.trial_rows_equal(plain)
+
+
+class TestBackendInstrumentation:
+    def test_get_backend_wraps_only_while_enabled(self):
+        bare = get_backend()
+        assert not isinstance(bare, InstrumentedBackend)
+        telemetry.enable()
+        assert isinstance(get_backend(), InstrumentedBackend)
+        assert isinstance(get_backend("reference"), InstrumentedBackend)
+        # Explicit instances pass through untouched (kernel tests rely on
+        # probing concrete backend classes).
+        assert get_backend(bare) is bare
+
+    def test_kernel_spans_and_counters_recorded(self):
+        telemetry.enable()
+        run_churn()
+        names = {event["name"] for event in telemetry.events()}
+        assert "kernel.batch_weighted_draw" in names
+        assert "kernel.draws" in names
+
+
+class TestWorkerShipping:
+    def test_pooled_run_ships_worker_events(self, campaign_scenarios):
+        telemetry.enable()
+        manifest = run_scenario(
+            "camp-alpha", overrides={"trials": 4}, workers=2, seed=3
+        )
+        events = telemetry.events()
+        runs = [event for event in events if event["name"] == "trial.run"]
+        queues = [event for event in events if event["name"] == "trial.queue"]
+        assert len(runs) == 4
+        assert len(queues) == 4
+        # Events carry the worker pids they were recorded in, matching
+        # the manifest's per-trial stats.
+        stat_pids = {stat["pid"] for stat in manifest.trial_stats}
+        assert {event["pid"] for event in runs} == stat_pids
+        assert {event["args"]["trial"] for event in runs} == {0, 1, 2, 3}
+
+    def test_pooled_rows_match_serial_untraced(self, campaign_scenarios):
+        serial = run_scenario("camp-alpha", overrides={"trials": 4}, seed=3)
+        telemetry.enable()
+        pooled = run_scenario(
+            "camp-alpha", overrides={"trials": 4}, workers=2, seed=3
+        )
+        assert pooled.trial_rows_equal(serial)
+
+
+class TestTrialStats:
+    def test_manifest_records_wall_and_pid_per_trial(self):
+        manifest = run_churn()
+        assert len(manifest.trial_stats) == manifest.trial_count
+        for index, stat in enumerate(manifest.trial_stats):
+            assert stat["trial"] == index
+            assert stat["wall_seconds"] >= 0.0
+            assert isinstance(stat["pid"], int)
+
+    def test_trial_stats_survive_json_round_trip(self):
+        manifest = run_churn()
+        clone = RunManifest.from_dict(json.loads(manifest.to_json()))
+        assert clone.trial_stats == manifest.trial_stats
+        assert clone.trial_rows_equal(manifest)
+
+
+class TestStragglers:
+    def _manifest(self, walls):
+        return RunManifest(
+            scenario="s",
+            params={},
+            seed=0,
+            workers=1,
+            trial_count=len(walls),
+            duration_seconds=sum(walls),
+            rows=[{"trial": i, "seed": i} for i in range(len(walls))],
+            summary=[],
+            trial_stats=[
+                {"trial": i, "wall_seconds": wall, "pid": 100 + i}
+                for i, wall in enumerate(walls)
+            ],
+        )
+
+    def test_flags_pathological_trial(self):
+        flagged = straggler_rows(self._manifest([0.1, 0.1, 0.1, 0.9]))
+        assert len(flagged) == 1
+        assert flagged[0]["trial"] == 3
+        assert flagged[0]["pid"] == 103
+        assert flagged[0]["x_median"] == 9.0
+
+    def test_uniform_runs_flag_nothing(self):
+        assert straggler_rows(self._manifest([0.1, 0.1, 0.1, 0.1])) == []
+
+    def test_sub_noise_excess_ignored(self):
+        # 4x the median but only 0.3 ms over it: scheduling jitter.
+        assert straggler_rows(self._manifest([0.0001, 0.0001, 0.0004])) == []
+
+    def test_old_manifests_without_stats_yield_no_rows(self):
+        manifest = self._manifest([])
+        assert straggler_rows(manifest) == []
+
+
+class TestCLI:
+    def _run_traced(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        out_path = tmp_path / "churn.json"
+        args = ["run", "churn", "--quiet", "--seed", "7"]
+        for key, value in CHURN_PARAMS.items():
+            args += ["--set", f"{key}={value}"]
+        code = main(args + ["--trace", str(trace_path), "--out", str(out_path)])
+        assert code == 0
+        capsys.readouterr()
+        return trace_path, out_path
+
+    def test_run_trace_writes_valid_artifacts(self, tmp_path, capsys):
+        trace_path, out_path = self._run_traced(tmp_path, capsys)
+        data = load_chrome_trace(trace_path)
+        categories = {
+            event.get("cat") for event in data["traceEvents"] if event["ph"] == "X"
+        }
+        assert {"executor", "kernel", "protocol"} <= categories
+        assert data["otherData"]["scenario"] == "churn"
+        summary_path = out_path.with_name("churn.telemetry.json")
+        summary = json.loads(summary_path.read_text())
+        assert "trial.run" in summary["spans"]
+        manifest = json.loads(out_path.read_text())
+        assert manifest["telemetry"]["spans"] == summary["spans"]
+
+    def test_run_trace_leaves_global_state_clean(self, tmp_path, capsys):
+        self._run_traced(tmp_path, capsys)
+        assert not telemetry.is_enabled()
+        assert telemetry.events() == []
+
+    def test_trace_verb_prints_phase_breakdown(self, tmp_path, capsys):
+        _, out_path = self._run_traced(tmp_path, capsys)
+        assert main(["trace", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trial.run" in out
+        assert "kernel.batch_weighted_draw" in out
+        assert "kernel.draws" in out
+
+    def test_trace_verb_rejects_untraced_manifest(self, tmp_path, capsys):
+        out_path = tmp_path / "plain.json"
+        args = ["run", "churn", "--quiet", "--seed", "7", "--out", str(out_path)]
+        for key, value in CHURN_PARAMS.items():
+            args += ["--set", f"{key}={value}"]
+        assert main(args) == 0
+        assert main(["trace", str(out_path)]) == 1
+        err = capsys.readouterr().err
+        assert "telemetry" in err.lower()
+
+    def test_traced_rows_match_untraced(self, tmp_path, capsys):
+        _, traced_path = self._run_traced(tmp_path, capsys)
+        plain_path = tmp_path / "plain.json"
+        args = ["run", "churn", "--quiet", "--seed", "7", "--out", str(plain_path)]
+        for key, value in CHURN_PARAMS.items():
+            args += ["--set", f"{key}={value}"]
+        assert main(args) == 0
+        traced = json.loads(traced_path.read_text())
+        plain = json.loads(plain_path.read_text())
+        assert traced["rows"] == plain["rows"]
+
+    def test_log_level_flag_configures_root_logging(self, capsys):
+        import logging
+
+        assert main(["--log-level", "info", "list"]) == 0
+        assert logging.getLogger().level == logging.INFO
+        assert main(["--log-level", "warning", "list"]) == 0
+        assert logging.getLogger().level == logging.WARNING
+
+    def test_log_env_var_sets_default_level(self, monkeypatch, capsys):
+        import logging
+
+        from repro.runner.cli import LOG_ENV_VAR
+
+        monkeypatch.setenv(LOG_ENV_VAR, "debug")
+        assert main(["list"]) == 0
+        assert logging.getLogger().level == logging.DEBUG
+        monkeypatch.delenv(LOG_ENV_VAR)
+        assert main(["list"]) == 0
+        assert logging.getLogger().level == logging.WARNING
+
+    def test_unknown_log_level_fails_cleanly(self, monkeypatch, capsys):
+        from repro.runner.cli import LOG_ENV_VAR
+
+        monkeypatch.setenv(LOG_ENV_VAR, "loud")
+        assert main(["list"]) == 2
+        assert "log level" in capsys.readouterr().err
+
+
+class TestCampaignTiming:
+    def test_report_carries_trials_and_wall_columns(
+        self, tmp_path, campaign_scenarios
+    ):
+        from repro.campaign.orchestrator import run_campaign
+        from repro.campaign.report import cell_rows, render_csv
+        from repro.campaign.spec import parse_campaign
+        from repro.campaign.store import ResultStore
+
+        spec = parse_campaign(
+            {
+                "campaign": {"name": "timing"},
+                "scenarios": [
+                    {
+                        "scenario": "camp-alpha",
+                        "seeds": [1, 2],
+                        "params": {"trials": 3},
+                    }
+                ],
+            }
+        )
+        store = ResultStore(tmp_path / "store")
+        fresh = run_campaign(spec, store)
+        assert all(not outcome.cached for outcome in fresh.outcomes)
+        for outcome in fresh.outcomes:
+            assert outcome.wall_seconds >= outcome.lookup_seconds >= 0.0
+        rows = cell_rows(fresh.outcomes)["camp-alpha"]
+        for row in rows:
+            assert row["trials"] == 3
+            assert isinstance(row["wall_s"], float)
+
+        # A fully cached re-run reproduces the report byte-for-byte: the
+        # timing columns come from the *stored* manifest, not this run.
+        cached = run_campaign(spec, store)
+        assert all(outcome.cached for outcome in cached.outcomes)
+        assert render_csv(cached.outcomes) == render_csv(fresh.outcomes)
