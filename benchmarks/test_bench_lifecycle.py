@@ -1,0 +1,75 @@
+"""Benchmark: event-driven lifecycle simulation throughput.
+
+The ``lifecycle_churn`` director schedules every upload, failure clock,
+refresh race and retrieval arrival on :class:`repro.sim.engine.
+SimulationEngine`; this gate pins the engine's event throughput at a
+deployment shape busy enough to exercise cancellation (refresh races,
+pre-empted departures) and both kernel batches:
+
+* ``test_lifecycle_event_throughput[reference|vectorized]`` -- the
+  pinned deployment per backend, reported as engine events/second;
+* ``test_lifecycle_rows_identical_across_backends`` -- the identity
+  gate: the pinned row must be bit-identical on both backends.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_lifecycle.py -q``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.lifecycle import LifecycleConfig, LifecycleSimulation
+
+#: A deployment busy enough to make engine overhead measurable: thousands
+#: of retrieval events, dozens of failure/recovery cycles and refresh
+#: races inside one run.
+BENCH_CONFIG = dict(
+    providers=24,
+    regions=4,
+    files=64,
+    replicas=3,
+    horizon_s=1200.0,
+    mtbf_s=400.0,
+    mttr_s=50.0,
+    departures=2,
+    retrieval_rate=4.0,
+    flash_crowds=2,
+    regional_failures=1,
+    seed=29,
+)
+
+#: Floor on engine throughput at the pinned shape; real numbers are far
+#: higher -- this only catches a pathological slowdown (e.g. an eager
+#: O(n) cancellation sneaking back in).
+MIN_EVENTS_PER_SECOND = 2_000
+
+
+def run_lifecycle(backend: str):
+    sim = LifecycleSimulation(LifecycleConfig(**BENCH_CONFIG, backend=backend))
+    row = sim.run()
+    return row
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+def test_lifecycle_event_throughput(benchmark, backend, record):
+    row = benchmark.pedantic(lambda: run_lifecycle(backend), rounds=3, iterations=1)
+    assert row["events_processed"] > 2_000
+    assert row["events_cancelled"] > 0  # the cancel races actually ran
+    events_per_second = row["events_processed"] / benchmark.stats["min"]
+    record(
+        f"lifecycle events/s [{backend}]",
+        f"{events_per_second:,.0f}",
+        "n/a (engineering gate)",
+    )
+    assert events_per_second >= MIN_EVENTS_PER_SECOND
+
+
+def test_lifecycle_rows_identical_across_backends(record):
+    reference = run_lifecycle("reference")
+    vectorized = run_lifecycle("vectorized")
+    assert reference == vectorized, "lifecycle rows diverge across backends"
+    record(
+        "lifecycle cross-backend identity",
+        f"{reference['events_processed']} events, row identical",
+        "bit-identical (acceptance gate)",
+    )

@@ -97,11 +97,12 @@ def configure_logging(level: Optional[str] = None) -> None:
 _EPILOG = """\
 registered scenarios (python -m repro list for parameters):
   paper experiments:  collision, deposit, robustness, scalability, table3, table4
-  workload pack:      churn, retrieval_load, segmentation
+  workload pack:      churn, retrieval_load, segmentation, lifecycle_churn
 
 examples:
   repro run robustness --workers 4 --seed 7 --out runs/robust.json
   repro run churn --set cycles=12 --set crash_rate=0.2 --out runs/churn.json
+  repro run lifecycle_churn --set flash_crowds=2 --set regional_failures=1
   repro run churn --resume runs/churn.json --out runs/churn.json
   repro run table3 --backend reference   # kernel backend (hot-loop oracle)
   repro run churn --trace trace.json --out runs/churn.json

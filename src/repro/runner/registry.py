@@ -163,7 +163,7 @@ def load_builtin_scenarios() -> List[ScenarioSpec]:
     the dynamic workload pack (:mod:`repro.scenarios`).
     """
     import repro.experiments  # noqa: F401  (import populates the registry)
-    import repro.scenarios  # noqa: F401  (churn / retrieval_load / segmentation)
+    import repro.scenarios  # noqa: F401  (churn / retrieval_load / segmentation / lifecycle_churn)
 
     return list_scenarios()
 

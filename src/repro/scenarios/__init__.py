@@ -18,12 +18,17 @@ implicitly:
   ``(k, n)`` geometry via :class:`repro.core.large_files.LargeFileCodec`,
   measuring allocation-failure rates and compensation coverage
   (Section VI-C).
+* :mod:`repro.scenarios.lifecycle_churn` -- the ``lifecycle_churn``
+  scenario: the purely event-driven heavy-traffic deployment
+  (:class:`repro.sim.lifecycle.LifecycleSimulation`) with Poisson
+  arrivals, exponential failure/recovery clocks, flash crowds,
+  correlated regional failures and refresh-vs-degradation cancel races.
 
-Importing this package registers all three scenarios;
+Importing this package registers all four scenarios;
 :func:`repro.runner.load_builtin_scenarios` does so automatically, making
 them first-class citizens of ``python -m repro list|run|bench|diff``.
 """
 
-from repro.scenarios import churn, retrieval, segmentation
+from repro.scenarios import churn, lifecycle_churn, retrieval, segmentation
 
-__all__ = ["churn", "retrieval", "segmentation"]
+__all__ = ["churn", "lifecycle_churn", "retrieval", "segmentation"]

@@ -12,13 +12,28 @@ plus the concrete robustness/deposit examples).  This package provides:
 * :mod:`repro.sim.adversary` -- adversary models corrupting a fraction of
   capacity (targeted and random).
 * :mod:`repro.sim.metrics` -- metric collection helpers.
+* :mod:`repro.sim.lifecycle` -- explicit file/provider lifecycle state
+  machines and the event-driven deployment director behind the
+  ``lifecycle_churn`` scenario.
 * :mod:`repro.sim.scenario` -- an end-to-end harness wiring the chain, the
   protocol, physical providers and clients together.
 """
 
 from repro.sim.adversary import AdversaryModel, CorruptionOutcome, GreedyCapacityAdversary, RandomCapacityAdversary
 from repro.sim.engine import Event, SimulationEngine
-from repro.sim.metrics import MetricSeries, MetricsCollector
+from repro.sim.lifecycle import (
+    FileLifecycleEvent,
+    FileLifecycleState,
+    FileMachine,
+    InvalidTransitionError,
+    LifecycleConfig,
+    LifecycleRegistry,
+    LifecycleSimulation,
+    ProviderLifecycleEvent,
+    ProviderLifecycleState,
+    ProviderMachine,
+)
+from repro.sim.metrics import MetricSeries, MetricsCollector, linear_percentile
 from repro.sim.network import LatencyModel, NetworkMessage, SimulatedNetwork
 from repro.sim.placement import PlacementExperiment, PlacementResult
 from repro.sim.scenario import DSNScenario, ScenarioConfig
@@ -29,17 +44,28 @@ __all__ = [
     "CorruptionOutcome",
     "DSNScenario",
     "Event",
+    "FileLifecycleEvent",
+    "FileLifecycleState",
+    "FileMachine",
     "FileSizeDistribution",
     "GreedyCapacityAdversary",
+    "InvalidTransitionError",
     "LatencyModel",
+    "LifecycleConfig",
+    "LifecycleRegistry",
+    "LifecycleSimulation",
     "MetricSeries",
     "MetricsCollector",
     "NetworkMessage",
     "PlacementExperiment",
     "PlacementResult",
+    "ProviderLifecycleEvent",
+    "ProviderLifecycleState",
+    "ProviderMachine",
     "RandomCapacityAdversary",
     "ScenarioConfig",
     "SimulatedNetwork",
     "SimulationEngine",
     "WorkloadGenerator",
+    "linear_percentile",
 ]

@@ -5,6 +5,13 @@ deliberately small: the FileInsurer protocol has its own pending list for
 consensus-level tasks, so this engine only coordinates the *off-chain*
 world (file transfers, proof submission, provider churn, adversary
 actions) around it.
+
+Scheduled events can be *cancelled* (:meth:`SimulationEngine.cancel`):
+cancellation is lazy -- the event stays in the heap as a tombstone and is
+silently discarded when it reaches the front -- so cancelling is O(1) and
+the heap never needs re-sifting.  The lifecycle layer
+(:mod:`repro.sim.lifecycle`) leans on this to race refreshes against
+degradation deadlines: whichever lands first cancels the other.
 """
 
 from __future__ import annotations
@@ -12,7 +19,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Set, Tuple
 
 from repro.telemetry import counter
 
@@ -36,8 +43,11 @@ class SimulationEngine:
     def __init__(self) -> None:
         self._queue: List[Event] = []
         self._sequence = itertools.count()
+        self._pending: Set[int] = set()
+        self._cancelled: Set[int] = set()
         self.now = 0.0
         self.events_processed = 0
+        self.events_cancelled = 0
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -73,16 +83,45 @@ class SimulationEngine:
             label=label,
         )
         heapq.heappush(self._queue, event)
+        self._pending.add(event.sequence)
         return event
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending event (lazy deletion, O(1)).
+
+        The event is tombstoned in place; it will be dropped, without
+        running its callback, when it surfaces at the head of the queue.
+        Returns True if the event was still pending, False if it already
+        ran or was already cancelled.  Cancelling never perturbs the
+        ordering of the surviving events.
+        """
+        if event.sequence not in self._pending:
+            return False
+        self._pending.discard(event.sequence)
+        self._cancelled.add(event.sequence)
+        self.events_cancelled += 1
+        return True
+
+    def _purge_cancelled_head(self) -> None:
+        """Drop tombstoned events sitting at the front of the heap."""
+        while self._queue and self._queue[0].sequence in self._cancelled:
+            dropped = heapq.heappop(self._queue)
+            self._cancelled.discard(dropped.sequence)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> Optional[Event]:
-        """Run the next event; returns it, or None if the queue is empty."""
+        """Run the next live event; returns it, or None if none remain.
+
+        Cancelled events are skipped (and reclaimed) without advancing
+        the clock or counting as processed.
+        """
+        self._purge_cancelled_head()
         if not self._queue:
             return None
         event = heapq.heappop(self._queue)
+        self._pending.discard(event.sequence)
         self.now = event.time
         event.callback()
         self.events_processed += 1
@@ -95,7 +134,10 @@ class SimulationEngine:
         """
         processed = 0
         self._stopped = False
-        while self._queue and not self._stopped:
+        while not self._stopped:
+            self._purge_cancelled_head()
+            if not self._queue:
+                break
             if until is not None and self._queue[0].time > until:
                 break
             if max_events is not None and processed >= max_events:
@@ -116,9 +158,10 @@ class SimulationEngine:
     # Introspection
     # ------------------------------------------------------------------
     def pending_count(self) -> int:
-        """Number of events still queued."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._pending)
 
     def next_event_time(self) -> Optional[float]:
-        """Time of the next event, or None if nothing is queued."""
+        """Time of the next live event, or None if nothing is queued."""
+        self._purge_cancelled_head()
         return self._queue[0].time if self._queue else None

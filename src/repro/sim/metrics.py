@@ -11,7 +11,32 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["MetricSeries", "MetricsCollector", "format_table"]
+__all__ = ["MetricSeries", "MetricsCollector", "format_table", "linear_percentile"]
+
+
+def linear_percentile(values: Iterable[float], q: float) -> float:
+    """q-th percentile with linear interpolation (numpy's default method).
+
+    The rank ``q/100 * (n - 1)`` is split into an integer part and a
+    fraction; the result interpolates between the two bracketing order
+    statistics -- exactly ``numpy.percentile(values, q)``.  The existing
+    :meth:`MetricSeries.percentile` keeps its nearest-rank definition;
+    latency p50/p99 rows use this one so they can be checked against the
+    numpy oracle.  Returns 0.0 for an empty stream.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("q must lie in [0, 100]")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    lower = math.floor(rank)
+    fraction = rank - lower
+    if lower + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[lower] * (1.0 - fraction) + ordered[lower + 1] * fraction
 
 
 @dataclass

@@ -15,6 +15,15 @@ allocations and refresh swaps) and feeding proof outcomes back through a
 health oracle.  Examples and integration tests drive deployments through
 this class; the robustness experiments use it with an adversary crashing
 providers mid-run.
+
+Alongside the physical layer, every deployment now carries an auditable
+lifecycle view (:mod:`repro.sim.lifecycle`): each file and provider has
+an explicit state machine, transitions are scheduled as events on the
+deployment's :class:`~repro.sim.engine.SimulationEngine` (drained as
+:meth:`advance_to` moves time), and the transition totals surface in
+:meth:`summary`.  The purely event-driven heavy-traffic variant lives in
+:class:`~repro.sim.lifecycle.LifecycleSimulation` (the
+``lifecycle_churn`` scenario).
 """
 
 from __future__ import annotations
@@ -28,6 +37,13 @@ from repro.core.file_descriptor import FileState
 from repro.core.params import ProtocolParams
 from repro.core.protocol import FileInsurerProtocol, RefreshNotice
 from repro.crypto.prng import DeterministicPRNG
+from repro.sim.engine import SimulationEngine
+from repro.sim.lifecycle import (
+    FileLifecycleEvent,
+    FileLifecycleState,
+    LifecycleRegistry,
+    ProviderLifecycleEvent,
+)
 from repro.sim.network import LatencyModel, SimulatedNetwork
 from repro.storage.client import PreparedFile, StorageClient
 from repro.storage.provider import ProviderSector, StorageProvider
@@ -81,6 +97,9 @@ class DSNScenario:
             auto_prove=True,
             backend=self.config.backend,
         )
+        #: Event engine + lifecycle audit trail over the deployment.
+        self.engine = SimulationEngine()
+        self.lifecycle = LifecycleRegistry()
         self.providers: Dict[str, StorageProvider] = {}
         self.clients: Dict[str, StorageClient] = {}
         #: On-chain sector id -> (provider name, physical sector).
@@ -101,6 +120,9 @@ class DSNScenario:
             disk_capacity = config.sectors_per_provider * config.sector_capacity
             provider = StorageProvider(name, disk_capacity=disk_capacity)
             self.providers[name] = provider
+            self.lifecycle.provider(name).apply(
+                ProviderLifecycleEvent.ACTIVATED, time=self.protocol.now
+            )
             for _ in range(config.sectors_per_provider):
                 self.register_sector(name, config.sector_capacity)
         for index in range(config.client_count):
@@ -125,6 +147,9 @@ class DSNScenario:
         self.ledger.mint(name, funds if funds is not None else self.config.provider_funds)
         disk_capacity = sectors * self.config.sector_capacity
         self.providers[name] = StorageProvider(name, disk_capacity=disk_capacity)
+        self.lifecycle.provider(name).apply(
+            ProviderLifecycleEvent.ACTIVATED, time=self.protocol.now
+        )
         for _ in range(sectors):
             self.register_sector(name, self.config.sector_capacity)
 
@@ -168,7 +193,33 @@ class DSNScenario:
         )
         self._file_payloads[file_id] = prepared
         self._deliver_initial_replicas(file_id, prepared)
+        # Lifecycle: the file starts PENDING; an engine event at the
+        # transfer deadline settles it to PLACED or LOST from whatever
+        # CheckAlloc decided by then.
+        self.lifecycle.file(file_id)
+        deadline = self.protocol.now + self.config.params.transfer_deadline(prepared.size)
+        self.engine.schedule_at(
+            max(deadline, self.engine.now),
+            lambda f=file_id: self._settle_placement(f),
+            label=f"placement-check:{file_id}",
+        )
         return file_id
+
+    def _settle_placement(self, file_id: int) -> None:
+        """Engine event: resolve a PENDING file's lifecycle from chain state."""
+        machine = self.lifecycle.file(file_id)
+        if machine.state is not FileLifecycleState.PENDING:
+            return
+        descriptor = self.protocol.files.get(file_id)
+        placed = (
+            descriptor is not None
+            and descriptor.state == FileState.NORMAL
+            and any(s is not None for s in self.protocol.file_locations(file_id))
+        )
+        if placed:
+            machine.apply(FileLifecycleEvent.PLACEMENT_CONFIRMED, time=self.engine.now)
+        else:
+            machine.apply(FileLifecycleEvent.PLACEMENT_FAILED, time=self.engine.now)
 
     def _deliver_initial_replicas(self, file_id: int, prepared: PreparedFile) -> None:
         descriptor = self.protocol.files[file_id]
@@ -253,6 +304,17 @@ class DSNScenario:
         provider = self.providers[provider_name]
         provider.crash()
         self.network.set_offline(provider_name, True)
+        self.lifecycle.provider(provider_name).apply_if_valid(
+            ProviderLifecycleEvent.CRASHED, time=self.protocol.now
+        )
+        # Files with a replica on the crashed provider degrade when the
+        # engine next moves time (detection is not instantaneous).
+        for file_id in sorted(self._files_on_provider(provider_name)):
+            self.engine.schedule_at(
+                self.engine.now,
+                lambda f=file_id: self._degrade_file(f),
+                label=f"degrade:{file_id}",
+            )
         if immediate_detection:
             for sector_id, (owner, _) in list(self.sector_map.items()):
                 if owner == provider_name:
@@ -260,13 +322,52 @@ class DSNScenario:
                     if record is not None and not record.is_corrupted:
                         self.protocol.crash_sector(sector_id)
 
+    def _files_on_provider(self, provider_name: str) -> List[int]:
+        """File ids with at least one replica mapped onto the provider."""
+        owned_sectors = {
+            sector_id
+            for sector_id, (owner, _) in self.sector_map.items()
+            if owner == provider_name
+        }
+        found = []
+        for file_id in self._file_payloads:
+            locations = set(self.protocol.file_locations(file_id))
+            if locations & owned_sectors:
+                found.append(file_id)
+        return found
+
+    def _degrade_file(self, file_id: int) -> None:
+        """Engine event: a replica holder failed; degrade the lifecycle."""
+        machine = self.lifecycle.file(file_id)
+        if machine.is_terminal or machine.state is FileLifecycleState.PENDING:
+            return
+        machine.apply_if_valid(FileLifecycleEvent.REPLICA_DEGRADED, time=self.engine.now)
+
     # ------------------------------------------------------------------
     # Time
     # ------------------------------------------------------------------
     def advance_to(self, time: float) -> None:
-        """Advance protocol time, then perform requested replica swaps."""
+        """Advance protocol time, service replica swaps, drain the engine."""
         self.protocol.advance_time(time)
         self._process_refresh_notices()
+        self.engine.run(until=time)
+        self._sync_lost_files()
+
+    def _sync_lost_files(self) -> None:
+        """Fold on-chain losses into the lifecycle machines."""
+        for file_id, descriptor in self.protocol.files.items():
+            if descriptor.state != FileState.LOST:
+                continue
+            machine = self.lifecycle.file(file_id)
+            if machine.state is FileLifecycleState.LOST:
+                continue
+            now = self.engine.now
+            if machine.state is FileLifecycleState.PENDING:
+                machine.apply(FileLifecycleEvent.PLACEMENT_FAILED, time=now)
+                continue
+            if machine.state in (FileLifecycleState.PLACED, FileLifecycleState.REFRESHED):
+                machine.apply(FileLifecycleEvent.REPLICA_DEGRADED, time=now)
+            machine.apply(FileLifecycleEvent.ALL_REPLICAS_LOST, time=now)
 
     def run_cycles(self, cycles: int) -> None:
         """Advance time by whole proof cycles, servicing swaps in between."""
@@ -321,6 +422,17 @@ class DSNScenario:
         self.protocol.file_confirm(
             target_provider_name, notice.file_id, notice.replica_index, notice.target_sector
         )
+        # Lifecycle: a serviced swap is a completed refresh.  The machine
+        # may not have observed the degradation yet (losses can surface
+        # through proof deadlines rather than crash_provider), so walk it
+        # through the guarded chain degraded -> refreshing -> refreshed.
+        machine = self.lifecycle.file(notice.file_id)
+        if not machine.is_terminal and machine.state is not FileLifecycleState.PENDING:
+            machine.apply_if_valid(FileLifecycleEvent.REPLICA_DEGRADED, time=self.engine.now)
+            machine.apply_if_valid(FileLifecycleEvent.REFRESH_STARTED, time=self.engine.now)
+            machine.apply_if_valid(
+                FileLifecycleEvent.REFRESH_COMPLETED, time=self.engine.now
+            )
         # Remove the replica from the predecessor once the swap is confirmed
         # (the old sector keeps it only until the network completes the move).
         if notice.source_sector is not None:
@@ -363,4 +475,10 @@ class DSNScenario:
         )
         result["providers"] = float(len(self.providers))
         result["bytes_transferred"] = float(self.network.total_bytes_transferred())
+        transitions = self.lifecycle.transition_counts()
+        result["lifecycle_transitions"] = float(sum(transitions.values()))
+        result["lifecycle_refreshes"] = float(transitions.get("file.refresh_completed", 0))
+        result["lifecycle_files_lost"] = float(
+            self.lifecycle.state_counts().get("file.lost", 0)
+        )
         return result

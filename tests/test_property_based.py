@@ -358,3 +358,104 @@ def test_u32_stream_chunking_is_invariant(entropy):
     other.peek(64)  # lookahead must not consume
     b = other.take(64)
     assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Discrete-event engine + lifecycle invariants (derandomized like the
+# sampler differential pack: identical schedules on every run)
+# ----------------------------------------------------------------------
+@DIFF_SETTINGS
+@given(
+    schedule=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.integers(min_value=-3, max_value=3),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    cancel_mask=st.lists(st.booleans(), min_size=60, max_size=60),
+)
+def test_engine_executes_in_time_priority_sequence_order(schedule, cancel_mask):
+    from repro.sim.engine import SimulationEngine
+
+    engine = SimulationEngine()
+    executed = []
+    events = []
+    for index, (time, priority) in enumerate(schedule):
+        event = engine.schedule_at(
+            time,
+            (lambda e=index: executed.append(e)),
+            priority=priority,
+        )
+        events.append((event, index))
+    cancelled = set()
+    for (event, index), drop in zip(events, cancel_mask):
+        if drop:
+            engine.cancel(event)
+            cancelled.add(index)
+    engine.run()
+    # Cancelled events never ran; survivors ran exactly once ...
+    assert set(executed) == {i for i in range(len(schedule)) if i not in cancelled}
+    assert len(executed) == len(set(executed))
+    # ... and strictly in (time, priority, sequence) order.
+    keys = [(schedule[i][0], schedule[i][1], i) for i in executed]
+    assert keys == sorted(keys)
+
+
+@DIFF_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    mtbf=st.sampled_from([40.0, 120.0, 1e9]),
+    timeout=st.sampled_from([25.0, 90.0]),
+    regional=st.integers(min_value=0, max_value=2),
+)
+def test_lifecycle_invariants_hold_under_generated_dynamics(
+    seed, mtbf, timeout, regional
+):
+    """Whatever the failure dynamics: a lost file never transitions again,
+    provider capacity never goes negative, histories are valid chains."""
+    from repro.sim.lifecycle import (
+        FileLifecycleState,
+        LifecycleConfig,
+        LifecycleSimulation,
+    )
+
+    sim = LifecycleSimulation(
+        LifecycleConfig(
+            providers=6,
+            regions=2,
+            files=8,
+            horizon_s=120.0,
+            mtbf_s=mtbf,
+            mttr_s=25.0,
+            retrieval_rate=0.3,
+            flash_crowds=1,
+            regional_failures=regional,
+            departures=1,
+            degrade_timeout_s=timeout,
+            seed=seed,
+        )
+    )
+    row = sim.run()
+    assert row["min_free_slots"] >= 0
+    for name in sim.provider_names:
+        assert 0 <= sim.used[name] <= sim.capacity[name]
+    for machine in list(sim.registry.files.values()) + list(
+        sim.registry.providers.values()
+    ):
+        for previous, current in zip(machine.history, machine.history[1:]):
+            assert current.from_state is previous.to_state
+            assert current.time >= previous.time
+        for record in machine.history:
+            assert machine.TRANSITIONS[(record.from_state, record.event)] is record.to_state
+    for machine in sim.registry.files.values():
+        lost_hits = [
+            i
+            for i, record in enumerate(machine.history)
+            if record.to_state is FileLifecycleState.LOST
+        ]
+        if lost_hits:
+            # LOST is entered once, as the final transition, ever.
+            assert lost_hits == [len(machine.history) - 1]
+            assert machine.state is FileLifecycleState.LOST

@@ -1,4 +1,5 @@
-"""Tests for the workload pack: churn, retrieval_load, segmentation."""
+"""Tests for the workload pack: churn, retrieval_load, segmentation,
+lifecycle_churn."""
 
 from __future__ import annotations
 
@@ -8,6 +9,7 @@ from repro.runner.executor import derive_trial_seed, run_scenario
 from repro.runner.registry import get_scenario, load_builtin_scenarios, resolve_params
 from repro.runner.results import jsonify
 from repro.scenarios.churn import run_churn_trial
+from repro.scenarios.lifecycle_churn import run_lifecycle_churn_trial
 from repro.scenarios.retrieval import run_retrieval_trial
 from repro.scenarios.segmentation import run_segmentation_trial
 
@@ -18,7 +20,7 @@ def _load_registry():
 
 
 class TestRegistration:
-    def test_all_nine_scenarios_registered(self):
+    def test_all_ten_scenarios_registered(self):
         names = {spec.name for spec in load_builtin_scenarios()}
         assert {
             "table3",
@@ -30,10 +32,11 @@ class TestRegistration:
             "churn",
             "retrieval_load",
             "segmentation",
+            "lifecycle_churn",
         } <= names
 
     def test_workload_tags(self):
-        for name in ("churn", "retrieval_load", "segmentation"):
+        for name in ("churn", "retrieval_load", "segmentation", "lifecycle_churn"):
             assert "workload" in get_scenario(name).tags
 
     def test_trial_grids(self):
@@ -73,6 +76,21 @@ TINY_RETRIEVAL = dict(
     providers=4, clients=2, files=4, requests=10, rates=(4.0,), trials=1, mean_kib=8
 )
 TINY_SEG = dict(size_ratios=(2.0,), limit_fractions=(0.5,), n_files=6, trials=1)
+#: Flash crowds and the correlated-failure generator stay ON in the tiny
+#: shape: the identity tests must hold with every event generator active.
+TINY_LIFECYCLE = dict(
+    providers=6,
+    regions=2,
+    files=8,
+    horizon_s=150.0,
+    mtbf_s=120.0,
+    mttr_s=30.0,
+    retrieval_rate=0.5,
+    flash_crowds=1,
+    regional_failures=1,
+    departures=1,
+    trials=1,
+)
 
 
 class TestChurn:
@@ -151,6 +169,50 @@ class TestRetrievalLoad:
         assert [row["rate_per_s"] for row in manifest.summary] == [2.0, 8.0]
 
 
+class TestLifecycleChurn:
+    def test_trial_reports_lifecycle_and_latency_metrics(self):
+        row = run_lifecycle_churn_trial(_task("lifecycle_churn", **TINY_LIFECYCLE))
+        assert row["files"] == 8
+        assert row["files_placed"] + row["placement_failures"] <= row["files"]
+        assert row["served"] + row["unserved"] == row["retrievals"]
+        assert row["latency_p99_s"] >= row["latency_p50_s"] >= 0.0
+        assert 0.0 <= row["miss_rate"] <= 1.0
+        assert row["min_free_slots"] >= 0
+        assert row["events_processed"] > 0
+
+    def test_generators_fire_in_tiny_shape(self):
+        row = run_lifecycle_churn_trial(_task("lifecycle_churn", **TINY_LIFECYCLE))
+        assert row["regional_failures"] == 1
+        assert row["provider_crashes"] > 0
+        assert row["flash_retrievals"] > 0
+        assert row["events_cancelled"] > 0
+
+    def test_trial_is_deterministic_in_seed(self):
+        task = _task("lifecycle_churn", **TINY_LIFECYCLE)
+        assert run_lifecycle_churn_trial(task) == run_lifecycle_churn_trial(task)
+
+    def test_quiet_shape_keeps_every_file(self):
+        task = _task(
+            "lifecycle_churn",
+            **dict(
+                TINY_LIFECYCLE,
+                mtbf_s=1e9,
+                regional_failures=0,
+                departures=0,
+                flash_crowds=0,
+            ),
+        )
+        row = run_lifecycle_churn_trial(task)
+        assert row["provider_crashes"] == 0
+        assert row["files_lost"] == 0
+        assert row["files_surviving"] == row["files_placed"]
+
+    def test_scenario_end_to_end_with_summary(self):
+        manifest = run_scenario("lifecycle_churn", TINY_LIFECYCLE, workers=1, seed=1)
+        assert manifest.trial_count == 1
+        assert "latency_p99_s_mean" in manifest.summary[0]
+
+
 class TestBackendAndPoolIdentity:
     """Regression pack for the sampler kernelisation: end-to-end scenario
     rows must be byte-identical across kernel backends and across serial
@@ -160,6 +222,7 @@ class TestBackendAndPoolIdentity:
         "churn": (run_churn_trial, TINY_CHURN),
         "retrieval_load": (run_retrieval_trial, TINY_RETRIEVAL),
         "segmentation": (run_segmentation_trial, TINY_SEG),
+        "lifecycle_churn": (run_lifecycle_churn_trial, TINY_LIFECYCLE),
     }
 
     @pytest.mark.parametrize("name", sorted(TRIAL_FNS))

@@ -73,6 +73,63 @@ class TestSimulationEngine:
         with pytest.raises(ValueError):
             engine.schedule(-1.0, lambda: None)
 
+    def test_same_time_events_pop_in_priority_then_insertion_order(self):
+        """Regression: equal timestamps resolve by (priority, insertion),
+        and lazy cancellation never perturbs that order."""
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("p1-first"), priority=1)
+        doomed = engine.schedule(1.0, lambda: order.append("doomed"), priority=0)
+        engine.schedule(1.0, lambda: order.append("p0-second"), priority=0)
+        engine.schedule(1.0, lambda: order.append("p1-second"), priority=1)
+        engine.schedule(1.0, lambda: order.append("p0-third"), priority=0)
+        assert engine.cancel(doomed)
+        engine.run()
+        assert order == ["p0-second", "p0-third", "p1-first", "p1-second"]
+
+    def test_cancel_prevents_callback_and_is_idempotent(self):
+        engine = SimulationEngine()
+        fired = []
+        keep = engine.schedule(1.0, lambda: fired.append("keep"))
+        drop = engine.schedule(2.0, lambda: fired.append("drop"))
+        assert engine.cancel(drop) is True
+        assert engine.cancel(drop) is False  # already cancelled
+        assert engine.pending_count() == 1
+        engine.run()
+        assert fired == ["keep"]
+        assert engine.events_processed == 1
+        assert engine.events_cancelled == 1
+        assert engine.cancel(keep) is False  # already ran
+
+    def test_cancelled_event_does_not_advance_clock(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        late = engine.schedule(9.0, lambda: fired.append(9))
+        engine.cancel(late)
+        engine.run()
+        assert fired == [1]
+        assert engine.now == 1.0
+        assert engine.next_event_time() is None
+
+    def test_cancel_head_then_step_runs_next_live_event(self):
+        engine = SimulationEngine()
+        fired = []
+        head = engine.schedule(1.0, lambda: fired.append("head"))
+        engine.schedule(2.0, lambda: fired.append("tail"))
+        engine.cancel(head)
+        event = engine.step()
+        assert event is not None and event.time == 2.0
+        assert fired == ["tail"]
+
+    def test_run_until_with_only_cancelled_events_left(self):
+        engine = SimulationEngine()
+        event = engine.schedule(3.0, lambda: None)
+        engine.cancel(event)
+        assert engine.run(until=5.0) == 0
+        assert engine.now == 5.0
+        assert engine.pending_count() == 0
+
 
 class TestNetwork:
     def test_transfer_time_scales_with_size(self):
