@@ -1,9 +1,11 @@
 """Telemetry overhead gate: traced vs untraced churn, as JSON.
 
 Runs the pinned churn benchmark shape with telemetry disabled and
-enabled, verifies the two runs' per-trial rows are byte-identical (the
-inertness contract from ``docs/observability.md``), and gates the
-enabled-path overhead at ``--max-overhead-pct`` (CI uses 5%).
+enabled (spans *and* metrics recorders together -- the full ``--trace
+--metrics`` observability surface), verifies the two runs' per-trial
+rows are byte-identical (the inertness contract from
+``docs/observability.md``), and gates the enabled-path overhead at
+``--max-overhead-pct`` (CI uses 5%).
 
 The true recording cost (a few hundred buffer appends per run) is far
 below shared-runner scheduling noise, so the measurement is built to
@@ -29,6 +31,7 @@ import time
 from repro import telemetry
 from repro.runner.executor import run_scenario
 from repro.runner.registry import load_builtin_scenarios
+from repro.telemetry import metrics
 
 #: The pinned churn shape: ~1 s per run, crossing every instrumented
 #: layer (executor trials, protocol adds/refreshes, kernel draws).
@@ -39,12 +42,15 @@ CHURN_SEED = 0
 def one_run(enabled: bool):
     """One timed churn run; returns (wall, manifest)."""
     telemetry.reset()
+    metrics.reset()
     if enabled:
         telemetry.enable()
+        metrics.enable()
     started = time.perf_counter()
     manifest = run_scenario("churn", overrides=CHURN_PARAMS, seed=CHURN_SEED)
     wall = time.perf_counter() - started
     telemetry.reset()
+    metrics.reset()
     return wall, manifest
 
 
@@ -86,6 +92,10 @@ def main(argv=None) -> int:
     overhead_pct = 100.0 * (traced_wall - untraced_wall) / untraced_wall
     spans = traced.telemetry["spans"] if traced.telemetry else {}
     events_recorded = sum(entry["count"] for entry in spans.values())
+    # Churn crosses the protocol layer, so the metrics recorder must have
+    # captured its deposit/backlog gauge series (histograms come from the
+    # lifecycle and retrieval layers, which churn does not drive).
+    metric_series = sorted(traced.metrics["series"]) if traced.metrics else []
 
     artifact = {
         "scenario": "churn",
@@ -98,6 +108,7 @@ def main(argv=None) -> int:
         "max_overhead_pct": args.max_overhead_pct,
         "rows_identical": rows_identical,
         "spans_recorded": events_recorded,
+        "metric_series_recorded": metric_series,
         "platform": platform.platform(),
         "python": platform.python_version(),
     }
@@ -109,13 +120,16 @@ def main(argv=None) -> int:
         f"telemetry overhead: untraced={untraced_wall:.3f}s "
         f"traced={traced_wall:.3f}s overhead={overhead_pct:+.2f}% "
         f"(gate {args.max_overhead_pct:.1f}%) spans={events_recorded} "
-        f"rows_identical={rows_identical}"
+        f"metric_series={len(metric_series)} rows_identical={rows_identical}"
     )
     if not rows_identical:
         print("FAIL: traced rows differ from untraced rows")
         return 1
     if not spans:
         print("FAIL: traced run recorded no spans")
+        return 1
+    if not metric_series:
+        print("FAIL: traced run recorded no metric gauge series")
         return 1
     if overhead_pct > args.max_overhead_pct:
         print(

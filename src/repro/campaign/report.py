@@ -7,7 +7,10 @@ Turns a campaign's per-cell manifests into cross-cell tables:
   summary statistics, so a whole figure grid reads as one table;
 * a **marginal table** per sweep axis -- every ``*_mean`` metric
   aggregated (mean over cells, min, max) at each value of that axis,
-  collapsing the other axes and seeds.
+  collapsing the other axes and seeds;
+* a **slowest cells** section -- the campaign's most expensive cells by
+  stored wall time, so the place to spend `repro run --profile` effort
+  is one glance away.
 
 Rendered as a markdown report plus a flat CSV.  Both are functions of
 *store content only* -- cell keys, parameters, summary statistics, and
@@ -33,6 +36,7 @@ from repro.runner.results import jsonify
 __all__ = [
     "cell_rows",
     "axis_marginal_rows",
+    "slowest_cell_rows",
     "render_markdown",
     "render_csv",
     "write_report",
@@ -122,6 +126,32 @@ def axis_marginal_rows(
     return out
 
 
+def slowest_cell_rows(
+    outcomes: Sequence[CellOutcome], limit: int = 5
+) -> List[Dict[str, object]]:
+    """The campaign's most expensive cells by stored wall time.
+
+    Deterministic like every other report table: walls come from the
+    *stored* manifests' ``duration_seconds`` (how long the cell took when
+    it actually executed), ties break on cell label, and cached re-runs
+    reproduce the rows byte-for-byte.
+    """
+    ranked = sorted(
+        outcomes,
+        key=lambda outcome: (-outcome.manifest.duration_seconds, outcome.cell.label),
+    )
+    return [
+        {
+            "cell": outcome.cell.label,
+            "scenario": outcome.cell.scenario,
+            "seed": outcome.cell.seed,
+            "trials": outcome.manifest.trial_count,
+            "wall_s": round(outcome.manifest.duration_seconds, 3),
+        }
+        for outcome in ranked[:limit]
+    ]
+
+
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
@@ -175,6 +205,9 @@ def render_markdown(spec: CampaignSpec, outcomes: Sequence[CellOutcome]) -> str:
             marginal = axis_marginal_rows(rows, axis)
             if marginal:
                 lines += [f"### {scenario} by {axis}", "", _markdown_table(marginal)]
+    slowest = slowest_cell_rows(outcomes)
+    if slowest:
+        lines += ["## Slowest cells", "", _markdown_table(slowest)]
     return "\n".join(lines)
 
 

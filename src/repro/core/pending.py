@@ -76,6 +76,14 @@ class PendingList:
     def __len__(self) -> int:
         return len(self._heap) - len(self._cancelled)
 
+    def count_kind(self, kind: str) -> int:
+        """Live tasks of one kind still queued (observability helper)."""
+        return sum(
+            1
+            for _, sequence, task in self._heap
+            if task.kind == kind and sequence not in self._cancelled
+        )
+
     def is_empty(self) -> bool:
         """True when no live task remains."""
         return len(self) == 0

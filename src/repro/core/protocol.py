@@ -37,7 +37,7 @@ from repro.core.sector import SectorRecord, SectorState
 from repro.core.selector import CapacitySelector
 from repro.crypto.prng import DeterministicPRNG
 from repro.kernels import KernelBackend
-from repro.telemetry import counter, traced
+from repro.telemetry import counter, metrics, traced
 
 __all__ = ["FileInsurerProtocol", "ProtocolError", "RefreshNotice"]
 
@@ -145,6 +145,31 @@ class FileInsurerProtocol:
             for task in self.pending.pop_due(self.now):
                 self._execute_task(task)
         self.now = until
+        if metrics.is_enabled():
+            self._record_gauges()
+
+    def _record_gauges(self) -> None:
+        """Gauge snapshots at ``self.now`` (observability only, no RNG)."""
+        metrics.gauge(
+            "protocol.refresh_backlog",
+            self.now,
+            float(self.pending.count_kind(self.TASK_CHECK_REFRESH)),
+            category="protocol",
+        )
+        metrics.gauge(
+            "protocol.pending_tasks", self.now, float(len(self.pending)),
+            category="protocol",
+        )
+        metrics.gauge(
+            "protocol.total_deposit",
+            self.now,
+            float(
+                self.fund.total_pledged
+                - self.fund.total_refunded
+                - self.fund.total_confiscated
+            ),
+            category="protocol",
+        )
 
     def run_until_idle(self, max_time: Optional[float] = None) -> None:
         """Advance time until the pending list drains (or ``max_time``)."""

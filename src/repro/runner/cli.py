@@ -22,7 +22,15 @@ list|run|bench|diff|campaign``.
   Manifests with per-trial stats also get straggler flagging.
 * ``repro trace <manifest.json>`` -- print the phase-breakdown (span) and
   counter tables of a run executed with ``--trace`` (see
-  ``docs/observability.md``).
+  ``docs/observability.md``); ``--json`` emits the same breakdown
+  machine-readably.
+* ``repro perf record|report|check`` -- the persistent perf-history
+  store (:mod:`repro.telemetry.history`): append ``BENCH_*.json``
+  artifacts or run manifests to an append-only JSONL file, print
+  per-series trends against a rolling-median baseline, and gate
+  regressions in CI (``check --max-regression PCT`` exits 1).
+  ``repro bench`` appends its walls automatically (``--history none``
+  opts out).
 * ``repro campaign run|status|report <spec.toml>`` -- declarative
   multi-scenario sweeps through one shared worker pool, backed by the
   content-addressed result store (see :mod:`repro.campaign`);
@@ -37,8 +45,11 @@ manifest so ``repro diff`` flags backend drift.
 ``repro run <scenario> --trace out.json`` records telemetry spans across
 the executor, kernel, protocol and sim layers and writes a Chrome
 trace-event artifact (open in Perfetto or ``chrome://tracing``) plus a
-``telemetry.json`` phase summary next to the run manifest.  Telemetry is
-inert: rows are byte-identical with and without ``--trace``.
+``telemetry.json`` phase summary next to the run manifest.  ``--metrics``
+records histogram/gauge metrics into the manifest's ``metrics`` field;
+``--profile DIR`` cProfiles every trial and writes a merged
+``profile.pstats``.  All three are inert: rows are byte-identical with
+and without them.
 
 ``repro --log-level debug <command>`` (or ``REPRO_LOG=debug``) turns on
 the ``logging`` output of the runner and campaign layers;
@@ -106,8 +117,13 @@ examples:
   repro run churn --resume runs/churn.json --out runs/churn.json
   repro run table3 --backend reference   # kernel backend (hot-loop oracle)
   repro run churn --trace trace.json --out runs/churn.json
+  repro run churn --metrics --out runs/churn.json   # histograms + gauges
+  repro run churn --profile prof/            # merged cProfile -> .pstats
   repro trace runs/churn.json            # phase breakdown of a traced run
   repro bench churn --backend all --out BENCH_churn_backends.json
+  repro perf record BENCH_churn_backends.json
+  repro perf report                      # per-bench trend vs rolling median
+  repro perf check --max-regression 10   # CI gate: exit 1 on regression
   repro diff runs/a.json runs/b.json
   repro --log-level info run churn       # or REPRO_LOG=info
   repro campaign run examples/table3_campaign.toml --workers 4
@@ -196,6 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "is at least X times faster than the reference backend "
                 "(default 0, no gate)",
             )
+            sub.add_argument(
+                "--history",
+                default=None,
+                metavar="JSONL",
+                help="perf-history file to append this bench's walls to "
+                "(default: $REPRO_PERF_HISTORY or runs/perf-history.jsonl; "
+                "'none' disables the append)",
+            )
         if name == "run":
             sub.add_argument(
                 "--quiet",
@@ -220,6 +244,24 @@ def build_parser() -> argparse.ArgumentParser:
                 "telemetry.json phase summary next to the manifest; rows "
                 "are byte-identical with or without tracing",
             )
+            sub.add_argument(
+                "--metrics",
+                action="store_true",
+                help="record histogram/gauge metrics (latency, refresh lag "
+                "and replica histograms; files-per-state, provider and "
+                "backlog gauges over simulated time) into the manifest's "
+                "'metrics' field and print the breakdown; rows are "
+                "byte-identical with or without it",
+            )
+            sub.add_argument(
+                "--profile",
+                default=None,
+                metavar="DIR",
+                help="cProfile every trial (inside pool workers too), merge "
+                "the per-trial stats and write DIR/profile.pstats plus a "
+                "top-N cumulative table; rows are unchanged, wall time "
+                "is not",
+            )
 
     trace = commands.add_parser(
         "trace",
@@ -228,6 +270,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "manifest",
         help="run manifest written by 'repro run --trace ... --out <manifest>'",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the phase/counter breakdown (and metrics summary, if "
+        "recorded) as machine-readable JSON instead of tables",
     )
 
     diff = commands.add_parser(
@@ -241,6 +289,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME[,NAME...]",
         help="restrict the delta table to these metric names",
     )
+    diff.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=3.0,
+        metavar="X",
+        help="flag trials whose wall exceeds X times their run's median "
+        "trial wall (default 3; informational, never affects the exit "
+        "code)",
+    )
+
+    perf = commands.add_parser(
+        "perf",
+        help="persistent perf history: record bench artifacts, print "
+        "trends, gate regressions",
+    )
+    perf_verbs = perf.add_subparsers(dest="verb", required=True)
+    for verb, help_text in (
+        ("record", "append BENCH_*.json artifacts (or run manifests) to the history"),
+        ("report", "per-series trend table vs a rolling-median baseline"),
+        ("check", "exit 1 when any series regressed past --max-regression"),
+    ):
+        sub = perf_verbs.add_parser(verb, help=help_text)
+        if verb == "record":
+            sub.add_argument(
+                "artifact",
+                nargs="+",
+                help="bench artifact JSON (BENCH_kernels.json, a "
+                "'bench --backend all' sweep, BENCH_telemetry.json, or a "
+                "run manifest)",
+            )
+        if verb == "check":
+            sub.add_argument(
+                "--max-regression",
+                type=float,
+                default=10.0,
+                metavar="PCT",
+                help="fail when a series' latest value exceeds its "
+                "rolling-median baseline by more than PCT percent "
+                "(default 10)",
+            )
+        sub.add_argument(
+            "--history",
+            default=None,
+            metavar="JSONL",
+            help="history file (default: $REPRO_PERF_HISTORY or "
+            "runs/perf-history.jsonl)",
+        )
 
     campaign = commands.add_parser(
         "campaign",
@@ -384,6 +479,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro import telemetry
 
         telemetry.enable()
+    if args.metrics:
+        from repro.telemetry import metrics
+
+        metrics.enable()
+    if args.profile:
+        from repro.telemetry import profile as profiling
+
+        profiling.enable()
     try:
         manifest = run_scenario(
             args.scenario,
@@ -393,10 +496,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             resume=resume,
         )
     except BaseException:
+        # Do not leak half-recorded buffers into a later command.
         if args.trace:
             from repro import telemetry
 
-            telemetry.reset()  # do not leak a half-recorded buffer
+            telemetry.reset()
+        if args.metrics:
+            from repro.telemetry import metrics
+
+            metrics.reset()
+        if args.profile:
+            from repro.telemetry import profile as profiling
+
+            profiling.reset()
         raise
     print(
         f"scenario={manifest.scenario} seed={manifest.seed} "
@@ -414,7 +526,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"\nmanifest written to {path}")
     if args.trace:
         _write_trace_artifacts(args, manifest)
+    if args.metrics:
+        _print_metrics_report(manifest)
+    if args.profile:
+        _write_profile_artifacts(args.profile)
     return 0
+
+
+def _print_metrics_report(manifest) -> None:
+    """Print the histogram/gauge breakdown of a ``--metrics`` run."""
+    from repro.telemetry import metrics
+
+    metrics.reset()  # the summary is in the manifest; drop the raw buffer
+    summary = manifest.metrics or {}
+    histograms = metrics.histogram_table(summary)
+    series = metrics.series_table(summary)
+    print(
+        f"\nmetrics: {len(histograms)} histograms, {len(series)} gauge series "
+        "(embedded in the manifest's 'metrics' field)"
+    )
+    if histograms:
+        print("\nhistograms")
+        print(format_table(histograms))
+    if series:
+        print("\ngauge series (over simulated time)")
+        print(format_table(series))
+
+
+def _write_profile_artifacts(profile_dir: str) -> None:
+    """Merge the per-trial cProfile tables and write ``profile.pstats``."""
+    from pathlib import Path
+
+    from repro.telemetry import profile as profiling
+
+    profiling.disable()
+    tables = profiling.drain()
+    merged = profiling.merge_stats(tables)
+    path = profiling.write_pstats(Path(profile_dir) / "profile.pstats", merged)
+    print(
+        f"\nprofile: {len(tables)} trial profiles merged -> {path} "
+        "(open with python -m pstats)"
+    )
+    rows = profiling.top_table(merged)
+    if rows:
+        print("top functions by cumulative time")
+        print(format_table(rows))
 
 
 def _write_trace_artifacts(args: argparse.Namespace, manifest) -> int:
@@ -461,7 +617,10 @@ def _print_telemetry_summary(summary) -> None:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
     from repro.runner.results import RunManifest
+    from repro.telemetry import counter_table, phase_table
 
     try:
         manifest = RunManifest.load(args.manifest)
@@ -474,12 +633,39 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.json:
+        # Same breakdown the tables show, machine-readably: spans sorted
+        # by total time descending (phase_table's order), counters, and
+        # the metrics summary when the run recorded one.
+        dump = {
+            "scenario": manifest.scenario,
+            "seed": manifest.seed,
+            "workers": manifest.workers,
+            "trial_count": manifest.trial_count,
+            "spans": phase_table(manifest.telemetry),
+            "counters": counter_table(manifest.telemetry),
+        }
+        if manifest.metrics:
+            dump["metrics"] = manifest.metrics
+        print(json.dumps(dump, indent=2, sort_keys=True))
+        return 0
     print(
         f"scenario={manifest.scenario} seed={manifest.seed} "
         f"workers={manifest.workers} trials={manifest.trial_count} "
         f"wall={manifest.duration_seconds:.2f}s"
     )
     _print_telemetry_summary(manifest.telemetry)
+    if manifest.metrics:
+        from repro.telemetry import metrics as metrics_mod
+
+        histograms = metrics_mod.histogram_table(manifest.metrics)
+        if histograms:
+            print("\nmetric histograms")
+            print(format_table(histograms))
+        series = metrics_mod.series_table(manifest.metrics)
+        if series:
+            print("\ngauge series (over simulated time)")
+            print(format_table(series))
     if manifest.trial_stats:
         from repro.runner.diff import straggler_rows
 
@@ -571,27 +757,35 @@ def _cmd_bench_backends(args: argparse.Namespace) -> int:
             f"(required {args.min_speedup:.2f}x) -> {verdict}"
         )
 
+    artifact = {
+        "kind": "scenario_backend_sweep",
+        "scenario": args.scenario,
+        "seed": args.seed,
+        "overrides": overrides,
+        "trials": trials,
+        "backends": {
+            name: {
+                "wall_seconds": round(walls[name], 6),
+                "speedup_vs_reference": round(speedups[name], 3),
+            }
+            for name in available_backends()
+        },
+        "rows_identical": identical,
+        "min_speedup": args.min_speedup,
+    }
     if args.out:
-        artifact = {
-            "kind": "scenario_backend_sweep",
-            "scenario": args.scenario,
-            "seed": args.seed,
-            "overrides": overrides,
-            "trials": trials,
-            "backends": {
-                name: {
-                    "wall_seconds": round(walls[name], 6),
-                    "speedup_vs_reference": round(speedups[name], 3),
-                }
-                for name in available_backends()
-            },
-            "rows_identical": identical,
-            "min_speedup": args.min_speedup,
-        }
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(artifact, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"comparison written to {args.out}")
+
+    from repro.telemetry import history
+
+    _append_bench_history(
+        args,
+        history.entries_from_artifact(artifact, source="repro bench --backend all"),
+        "backend-sweep",
+    )
     return 0 if identical and gate_ok else 1
 
 
@@ -637,6 +831,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.out:
         parallel.save(args.out)
         print(f"manifest written to {args.out}")
+
+    from repro.telemetry import history
+
+    shape = {"overrides": overrides, "seed": args.seed}
+    entries = [
+        history.make_entry(
+            f"scenario.{args.scenario}",
+            serial_wall,
+            shape=shape,
+            backend="serial",
+            source="repro bench",
+        )
+    ]
+    if workers > 1:
+        entries.append(
+            history.make_entry(
+                f"scenario.{args.scenario}",
+                parallel_wall,
+                shape={**shape, "workers": workers},
+                backend="parallel",
+                source="repro bench",
+            )
+        )
+    _append_bench_history(args, entries, "bench")
     return 0 if identical else 1
 
 
@@ -654,13 +872,112 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         if args.metrics
         else None
     )
-    diff = diff_manifests(manifest_a, manifest_b, metrics=metrics)
+    diff = diff_manifests(
+        manifest_a,
+        manifest_b,
+        metrics=metrics,
+        straggler_factor=args.straggler_factor,
+    )
     print(f"a: {args.manifest_a}\nb: {args.manifest_b}\n")
     print(format_diff(diff))
     metrics_ok = not (
         diff["metrics_only_a"] or diff["metrics_only_b"] or diff["metrics_missing"]
     )
     return 0 if diff["comparable"] and metrics_ok else 1
+
+
+def _history_target(args: argparse.Namespace):
+    """The perf-history path for ``--history``, or ``None`` when disabled."""
+    from pathlib import Path
+
+    from repro.telemetry import history
+
+    if args.history is not None:
+        if args.history.strip().lower() == "none":
+            return None
+        return Path(args.history)
+    return history.default_history_path()
+
+
+def _append_bench_history(args: argparse.Namespace, entries, label: str) -> None:
+    """Best-effort append of bench walls to the perf history.
+
+    A bench must never fail because the history file is unwritable (a
+    read-only CI checkout, say) -- the wall numbers were already printed.
+    """
+    from repro.telemetry import history
+
+    target = _history_target(args)
+    if target is None or not entries:
+        return
+    try:
+        path = history.append_entries(target, entries)
+    except OSError as error:
+        print(f"warning: perf history not recorded ({error})", file=sys.stderr)
+        return
+    print(f"perf history: {len(entries)} {label} entries appended to {path}")
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import history
+
+    target = _history_target(args)
+    if target is None:
+        raise ScenarioError("repro perf needs a history file; --history none given")
+
+    if args.verb == "record":
+        recorded = 0
+        for artifact in args.artifact:
+            try:
+                with open(artifact, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+            except (OSError, ValueError) as error:
+                raise ScenarioError(
+                    f"cannot load bench artifact {artifact!r}: {error}"
+                ) from None
+            from pathlib import Path
+
+            try:
+                entries = history.entries_from_artifact(
+                    data, source=Path(artifact).name
+                )
+            except ValueError as error:
+                raise ScenarioError(f"{artifact}: {error}") from None
+            history.append_entries(target, entries)
+            recorded += len(entries)
+        print(f"recorded {recorded} entries -> {target}")
+        return 0
+
+    entries = history.load_history(target)
+    if not entries:
+        print(
+            f"perf history {target} is empty; record a bench first "
+            "(repro bench ... or repro perf record BENCH_*.json)",
+            file=sys.stderr,
+        )
+        return 0  # an empty history is not a regression
+
+    if args.verb == "report":
+        rows = history.trend_rows(entries)
+        print(f"perf history: {len(entries)} entries, {len(rows)} series ({target})")
+        print(format_table(rows))
+        return 0
+
+    # check: gate the latest value of every series against its baseline.
+    flagged = history.regressions(entries, args.max_regression)
+    rows = history.trend_rows(entries)
+    print(
+        f"perf check: {len(rows)} series, gate +{args.max_regression:g}% "
+        f"vs rolling-median baseline ({target})"
+    )
+    if flagged:
+        print("\nREGRESSIONS")
+        print(format_table(flagged))
+        return 1
+    print("no regressions")
+    return 0
 
 
 _DEFAULT_STORE = "runs/campaign-store"
@@ -797,6 +1114,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "diff":
             return _cmd_diff(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
     except (ScenarioError, ValueError) as error:

@@ -143,14 +143,19 @@ def diff_manifests(
     a: RunManifest,
     b: RunManifest,
     metrics: Optional[Sequence[str]] = None,
+    straggler_factor: float = STRAGGLER_FACTOR,
 ) -> Dict[str, object]:
     """Structured comparison of two run manifests.
 
     Returns a dictionary with ``provenance`` / ``params`` / ``metrics``
     row lists (ready for :func:`~repro.runner.aggregate.format_table`),
     plus ``comparable`` (same scenario) and ``rows_identical`` flags.
-    ``metrics`` restricts the metric table to the named stems.
+    ``metrics`` restricts the metric table to the named stems;
+    ``straggler_factor`` sets the wall-vs-median multiple above which a
+    trial is flagged (``repro diff --straggler-factor``, default 3).
     """
+    if straggler_factor <= 0:
+        raise ValueError("straggler_factor must be positive")
     provenance: List[Dict[str, object]] = []
     for field in ("scenario", "seed", "version", "workers", "trial_count", "format"):
         value_a = getattr(a, field)
@@ -228,8 +233,9 @@ def diff_manifests(
         # Pathological trial timings per manifest (informational only --
         # timing is observability, never part of the byte-identity
         # comparison or the exit code).
-        "stragglers_a": straggler_rows(a),
-        "stragglers_b": straggler_rows(b),
+        "straggler_factor": straggler_factor,
+        "stragglers_a": straggler_rows(a, factor=straggler_factor),
+        "stragglers_b": straggler_rows(b, factor=straggler_factor),
         # Metrics present in exactly one manifest: a silent source of
         # misreadings (a delta table that *looks* complete but dropped a
         # metric).  Reported here and treated as a failure by the CLI.
@@ -275,11 +281,12 @@ def format_diff(diff: Mapping[str, object]) -> str:
             sections.append(f"  only in a: {', '.join(only_a)}")
         if only_b:
             sections.append(f"  only in b: {', '.join(only_b)}")
+    factor = float(diff.get("straggler_factor", STRAGGLER_FACTOR))  # type: ignore[arg-type]
     for side in ("a", "b"):
         stragglers = diff.get(f"stragglers_{side}") or []
         if stragglers:
             sections.append(
-                f"\nstraggler trials in {side} (> {STRAGGLER_FACTOR:.0f}x the "
+                f"\nstraggler trials in {side} (> {factor:g}x the "
                 "median trial wall; informational)"
             )
             sections.append(format_table(stragglers))  # type: ignore[arg-type]

@@ -23,6 +23,7 @@ merged row set is byte-identical to an uninterrupted run's
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import multiprocessing
 import multiprocessing.pool
@@ -33,6 +34,8 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro import telemetry
+from repro.telemetry import metrics
+from repro.telemetry import profile as profiling
 from repro.crypto.prng import DeterministicPRNG
 from repro.runner.registry import (
     ScenarioError,
@@ -104,8 +107,9 @@ def _execute_trial(
     """Run one trial (module-level so it pickles into worker processes).
 
     Returns a result *envelope*: the trial's row plus per-trial
-    observability (wall time, worker pid, and -- when telemetry is
-    enabled -- the events recorded during the trial, captured in an
+    observability (wall time, worker pid, and -- when the corresponding
+    recorder is enabled -- the telemetry events, metric samples and raw
+    cProfile stats collected during the trial, each captured in an
     isolated buffer so they can be shipped back to the parent process).
     ``enqueued`` is the parent's ``perf_counter`` at submission; Linux's
     monotonic clock is system-wide, so the queue-wait span it implies is
@@ -114,19 +118,34 @@ def _execute_trial(
     trial_fn, task, enqueued = payload
     started = time.perf_counter()
     events: Optional[List[Dict[str, object]]] = None
-    if telemetry.is_enabled():
-        with telemetry.capture() as events:
-            if enqueued is not None:
-                telemetry.emit_span(
-                    "trial.queue",
-                    enqueued,
-                    started,
-                    category="executor",
-                    trial=task["trial"],
+    metric_samples: Optional[List[Dict[str, object]]] = None
+    profile_stats = None
+    if telemetry.is_enabled() or metrics.is_enabled() or profiling.is_enabled():
+        with contextlib.ExitStack() as stack:
+            if telemetry.is_enabled():
+                events = stack.enter_context(telemetry.capture())
+                if enqueued is not None:
+                    telemetry.emit_span(
+                        "trial.queue",
+                        enqueued,
+                        started,
+                        category="executor",
+                        trial=task["trial"],
+                    )
+                stack.enter_context(
+                    telemetry.span(
+                        "trial.run",
+                        category="executor",
+                        trial=task["trial"],
+                        seed=task["seed"],
+                    )
                 )
-            with telemetry.span(
-                "trial.run", category="executor", trial=task["trial"], seed=task["seed"]
-            ):
+            if metrics.is_enabled():
+                metric_samples = stack.enter_context(metrics.capture())
+            if profiling.is_enabled():
+                row, profile_stats = profiling.profiled_call(trial_fn, task)
+                row = dict(row)
+            else:
                 row = dict(trial_fn(task))
     else:
         row = dict(trial_fn(task))
@@ -137,6 +156,8 @@ def _execute_trial(
         "wall_seconds": wall,
         "pid": os.getpid(),
         "events": events,
+        "metric_samples": metric_samples,
+        "profile": profile_stats,
     }
 
 
@@ -200,16 +221,20 @@ def match_resume_rows(
 class TrialBatch:
     """The executed trials' rows plus their observability side channel.
 
-    ``rows`` is the deterministic payload (identical with telemetry on or
-    off, serial or pooled); ``trial_stats`` carries one
-    ``{"trial", "wall_seconds", "pid"}`` entry per *executed* trial so
-    stragglers are inspectable after the fact; ``events`` holds the
-    telemetry events shipped back from workers (empty while disabled).
+    ``rows`` is the deterministic payload (identical with telemetry,
+    metrics or profiling on or off, serial or pooled); ``trial_stats``
+    carries one ``{"trial", "wall_seconds", "pid"}`` entry per
+    *executed* trial so stragglers are inspectable after the fact;
+    ``events``, ``metric_samples`` and ``profiles`` hold the telemetry
+    events, histogram/gauge samples and raw cProfile tables shipped back
+    from workers (empty while the respective recorder is disabled).
     """
 
     rows: List[Dict[str, object]] = field(default_factory=list)
     trial_stats: List[Dict[str, object]] = field(default_factory=list)
     events: List[Dict[str, object]] = field(default_factory=list)
+    metric_samples: List[Dict[str, object]] = field(default_factory=list)
+    profiles: List[Dict] = field(default_factory=list)
 
 
 def execute_trials(
@@ -279,8 +304,16 @@ def execute_trials(
         )
         if envelope["events"]:
             batch.events.extend(envelope["events"])
+        if envelope["metric_samples"]:
+            batch.metric_samples.extend(envelope["metric_samples"])
+        if envelope["profile"] is not None:
+            batch.profiles.append(envelope["profile"])
     if recording:
         telemetry.extend(batch.events)
+    if metrics.is_enabled():
+        metrics.extend(batch.metric_samples)
+    if profiling.is_enabled():
+        profiling.extend(batch.profiles)
 
     if cached:
         merged: Dict[int, Dict[str, object]] = {
@@ -327,7 +360,9 @@ def run_scenario(
     With telemetry enabled (:mod:`repro.telemetry`), the manifest's
     ``telemetry`` field carries this run's phase-breakdown summary and
     the raw events stay in the process buffer for the CLI's ``--trace``
-    exporter; rows are byte-identical either way.  Per-trial wall time
+    exporter; with metrics enabled (:mod:`repro.telemetry.metrics`) the
+    ``metrics`` field likewise carries the histogram/gauge summary; rows
+    are byte-identical either way.  Per-trial wall time
     and worker pid always land in ``trial_stats`` (cached/resumed trials
     keep the stats of the run that actually executed them).
     """
@@ -349,22 +384,26 @@ def run_scenario(
             cached_rows = match_resume_rows(spec, trials, seed, params, prior)
 
     recording = telemetry.is_enabled()
-    scope = telemetry.capture() if recording else None
+    recording_metrics = metrics.is_enabled()
+    run_events: List[Dict[str, object]] = []
+    run_samples: List[Dict[str, object]] = []
     started = time.perf_counter()
-    if scope is not None:
-        with scope as run_events:
-            batch, summary = _execute_and_aggregate(
-                spec, trials, params, workers, seed, cached_rows, pool
-            )
-        telemetry.extend(run_events)
-    else:
-        run_events = []
+    with contextlib.ExitStack() as stack:
+        if recording:
+            run_events = stack.enter_context(telemetry.capture())
+        if recording_metrics:
+            run_samples = stack.enter_context(metrics.capture())
         batch, summary = _execute_and_aggregate(
             spec, trials, params, workers, seed, cached_rows, pool
         )
+    if recording:
+        telemetry.extend(run_events)
+    if recording_metrics:
+        metrics.extend(run_samples)
     duration = time.perf_counter() - started
 
     trial_stats = _merge_trial_stats(batch.trial_stats, prior)
+    from repro.telemetry.metrics import summarize_metrics
     from repro.telemetry.summary import summarize_events
 
     return RunManifest(
@@ -378,6 +417,7 @@ def run_scenario(
         summary=jsonify(summary),
         trial_stats=jsonify(trial_stats),
         telemetry=summarize_events(run_events) if recording else None,
+        metrics=summarize_metrics(run_samples) if recording_metrics else None,
     )
 
 

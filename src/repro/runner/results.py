@@ -91,6 +91,11 @@ class RunManifest:
     #: :mod:`repro.telemetry.summary`); ``None`` when tracing was off.
     #: Printed by ``repro trace <manifest>``; never part of identity.
     telemetry: Optional[Dict[str, Any]] = None
+    #: Histogram/gauge summary of a metrics-enabled run (see
+    #: :mod:`repro.telemetry.metrics`); ``None`` when ``--metrics`` was
+    #: off.  Observability metadata like ``telemetry``: excluded from
+    #: :meth:`trial_rows_equal` and every other identity comparison.
+    metrics: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -137,6 +142,7 @@ class RunManifest:
             "format",
             "trial_stats",
             "telemetry",
+            "metrics",
         }
         fields = {key: data[key] for key in known if key in data}
         missing = {"scenario", "params", "seed", "workers"} - set(fields)

@@ -30,6 +30,13 @@ crashes / recoveries / departures), retrieval service quality as
 percentiles) against the ``DelayPerSize`` deadline (``miss_rate``), and
 engine accounting (``events_processed`` / ``events_cancelled``).
 
+With ``repro run lifecycle_churn --metrics`` the run additionally
+records the *trajectories* behind those scalars through
+:mod:`repro.telemetry.metrics`: retrieval-latency / refresh-lag /
+replica-count histograms plus gauge time-series of files per lifecycle
+state, active providers and the refresh backlog, sampled at sim-time
+checkpoints.  Metrics are inert -- rows are byte-identical either way.
+
 Registered with :mod:`repro.runner` as ``lifecycle_churn``; run it with::
 
     python -m repro run lifecycle_churn --set flash_crowds=2 --set regional_failures=1

@@ -40,6 +40,7 @@ from repro.storage.bitswap import BitSwapNetwork
 from repro.storage.content_store import BlockNotFoundError
 from repro.storage.dag import MerkleDag
 from repro.storage.dht import DHTNetwork
+from repro.telemetry import metrics
 
 __all__ = ["run_retrieval_trial", "main"]
 
@@ -219,6 +220,9 @@ def run_retrieval_trial(task: Mapping[str, object]) -> Dict[str, object]:
         busy_until[chosen] = finish
         latency = (start - arrival) + service + hops * latency_model.base_latency_s
         latencies.record(arrival, latency)
+        # Beside the p50/p95 scalars: the full latency distribution, as a
+        # fixed-bucket histogram (no-op unless `repro run --metrics`).
+        metrics.observe("retrieval.latency_s", latency, category="retrieval")
         if latency > delay_per_size * size:
             deadline_misses += 1
 

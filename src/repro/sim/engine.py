@@ -49,6 +49,12 @@ class SimulationEngine:
         self.events_processed = 0
         self.events_cancelled = 0
         self._stopped = False
+        #: Observability hook: when set, called as ``probe(now)`` after
+        #: every event :meth:`run` processes.  The lifecycle layer points
+        #: it at a gauge snapshotter while :mod:`repro.telemetry.metrics`
+        #: is recording; it must never schedule events or touch seeded
+        #: RNG streams (``events_processed`` is part of the rows).
+        self.metrics_probe: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -144,6 +150,8 @@ class SimulationEngine:
                 break
             self.step()
             processed += 1
+            if self.metrics_probe is not None:
+                self.metrics_probe(self.now)
         if until is not None and until > self.now:
             self.now = until
         if processed:

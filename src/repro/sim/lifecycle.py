@@ -41,7 +41,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.crypto.prng import DeterministicPRNG
 from repro.sim.engine import Event, SimulationEngine
 from repro.sim.network import LatencyModel
-from repro.telemetry import counter
+from repro.telemetry import counter, metrics
 
 __all__ = [
     "FILE_TRANSITIONS",
@@ -443,6 +443,14 @@ class LifecycleSimulation:
         self._refresh_start: Dict[int, Event] = {}
         self._refresh_complete: Dict[int, Tuple[Event, str]] = {}
         self._loss_deadline: Dict[int, Event] = {}
+        #: When each file's current degradation episode began -- the
+        #: refresh-lag histogram's clock.  Maintained unconditionally
+        #: (cheap, no RNG) so rows stay identical with metrics on or off.
+        self._degraded_since: Dict[int, float] = {}
+        #: Gauge-snapshot decimation: the engine probe fires per event,
+        #: but gauges are recorded on ~32 sim-time checkpoints.
+        self._metrics_interval = max(self.config.horizon_s / 32.0, 1e-9)
+        self._next_metrics_t = 0.0
 
         # Stats the row is built from.
         self.sizes: Dict[int, int] = {}
@@ -706,6 +714,7 @@ class LifecycleSimulation:
 
     def _start_degradation_episode(self, file_id: int, now: float) -> None:
         """Schedule the refresh and the loss deadline it races against."""
+        self._degraded_since.setdefault(file_id, now)
         if file_id not in self._refresh_start and file_id not in self._refresh_complete:
             self._refresh_start[file_id] = self.engine.schedule_at(
                 now + self.config.detection_delay_s,
@@ -780,6 +789,11 @@ class LifecycleSimulation:
             deadline = self._loss_deadline.pop(file_id, None)
             if deadline is not None and self.engine.cancel(deadline):
                 self.refreshes_cancelled_degradation += 1
+            since = self._degraded_since.pop(file_id, None)
+            if since is not None:
+                metrics.observe(
+                    "lifecycle.refresh_lag_s", now - since, category="lifecycle"
+                )
         else:
             machine.apply(FileLifecycleEvent.REPLICA_DEGRADED, time=now)
             self._refresh_start[file_id] = self.engine.schedule_at(
@@ -823,6 +837,7 @@ class LifecycleSimulation:
 
     def _drop_pending_file_events(self, file_id: int) -> None:
         """Cancel every cancellable event a dead file still has queued."""
+        self._degraded_since.pop(file_id, None)
         start = self._refresh_start.pop(file_id, None)
         if start is not None:
             self.engine.cancel(start)
@@ -899,6 +914,7 @@ class LifecycleSimulation:
         self._busy_until[chosen] = start + service
         latency = (start - now) + service + self.config.latency.base_latency_s
         self.latencies.append(latency)
+        metrics.observe("lifecycle.retrieval_latency_s", latency, category="lifecycle")
         if latency > self.config.delay_per_size * self.sizes[file_id]:
             self.deadline_misses += 1
 
@@ -907,8 +923,53 @@ class LifecycleSimulation:
     # ------------------------------------------------------------------
     def run(self) -> Dict[str, object]:
         """Run the deployment to the horizon and summarise it as a row."""
+        if metrics.is_enabled():
+            # Gauge snapshots ride the engine's per-event probe (decimated
+            # to sim-time checkpoints) -- never scheduled events, because
+            # events_processed/events_cancelled are part of the row.
+            self.engine.metrics_probe = self._metrics_probe
+            self._record_gauges(0.0)
         self.engine.run(until=self.config.horizon_s)
+        if metrics.is_enabled():
+            self._record_gauges(self.engine.now)
+            for file_id in sorted(self.replicas_of):
+                metrics.observe(
+                    "lifecycle.replica_count",
+                    float(len(self.replicas_of[file_id])),
+                    category="lifecycle",
+                )
         return self.summary()
+
+    def _metrics_probe(self, now: float) -> None:
+        """Record gauges when an event crosses the next checkpoint."""
+        if not metrics.is_enabled() or now < self._next_metrics_t:
+            return
+        while self._next_metrics_t <= now:
+            self._next_metrics_t += self._metrics_interval
+        self._record_gauges(now)
+
+    def _record_gauges(self, now: float) -> None:
+        """One gauge sample per tracked series at simulated time ``now``."""
+        states = self.registry.state_counts()
+        for state in FileLifecycleState:
+            metrics.gauge(
+                f"lifecycle.files.{state.value}",
+                now,
+                float(states.get(f"file.{state.value}", 0)),
+                category="lifecycle",
+            )
+        metrics.gauge(
+            "lifecycle.active_providers",
+            now,
+            float(states.get("provider.active", 0)),
+            category="lifecycle",
+        )
+        metrics.gauge(
+            "lifecycle.refresh_backlog",
+            now,
+            float(len(self._refresh_start) + len(self._refresh_complete)),
+            category="lifecycle",
+        )
 
     def summary(self) -> Dict[str, object]:
         """Metrics row: lifecycle outcomes + latency percentiles."""

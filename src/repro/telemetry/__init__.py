@@ -16,12 +16,25 @@ the protocol and the campaign orchestrator:
 * :mod:`repro.telemetry.summary` -- the per-run phase breakdown embedded
   in run manifests and written as ``<run>.telemetry.json``; printed by
   ``repro trace <manifest>``.
+* :mod:`repro.telemetry.metrics` -- fixed-bucket log-scaled histograms
+  (retrieval latency, refresh lag, replica counts) and gauge time-series
+  sampled at sim-time checkpoints (``repro run --metrics``), with the
+  same null-object no-op path and worker-envelope merge discipline as
+  spans.
+* :mod:`repro.telemetry.history` -- the append-only JSONL perf-history
+  store behind ``repro perf record|report|check``: bench walls keyed by
+  (bench, shape, backend, host), trended against a rolling-median
+  baseline.
+* :mod:`repro.telemetry.profile` -- per-trial cProfile hooks
+  (``repro run --profile <dir>``): stats collected inside pool workers,
+  shipped back in result envelopes and merged into one ``.pstats``.
 
 See ``docs/observability.md`` for the span inventory and workflows.
 """
 
 from __future__ import annotations
 
+from repro.telemetry import history, metrics, profile
 from repro.telemetry.core import (
     capture,
     counter,
@@ -60,9 +73,12 @@ __all__ = [
     "enable",
     "events",
     "extend",
+    "history",
     "is_enabled",
     "load_chrome_trace",
+    "metrics",
     "phase_table",
+    "profile",
     "reset",
     "span",
     "summarize_events",

@@ -1,0 +1,168 @@
+"""Per-trial profiling: cProfile inside pool workers, merged via pstats.
+
+``repro run <scenario> --profile <dir>`` wraps every trial function in a
+:class:`cProfile.Profile`.  The raw stats table (``profiler.stats``, a
+plain dict of ``(file, line, func) -> (cc, nc, tt, ct, callers)``) is
+picklable, so a forked pool worker ships its trial's profile back to the
+parent in the result envelope -- the same path telemetry events take --
+where the tables are summed into one run-wide profile, written as a
+standard ``.pstats`` file (loadable with :class:`pstats.Stats`) and
+printed as a top-N cumulative table.
+
+Like spans and metrics, profiling is **off by default and free when
+off**: the executor consults :func:`is_enabled` once per trial and the
+profiler object is never even constructed.  Unlike them it is *not*
+cheap when on (cProfile's tracing hook multiplies Python-call cost), so
+it never participates in the <5% overhead gate -- only the disabled
+path must be inert, and rows remain byte-identical either way because
+profiling never touches a seeded RNG stream.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import marshal
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Tuple, Union
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "profiled_call",
+    "extend",
+    "stats_buffer",
+    "drain",
+    "merge_stats",
+    "write_pstats",
+    "top_table",
+]
+
+#: One raw cProfile stats table: ``(file, line, func) -> (cc, nc, tt, ct,
+#: callers)`` where ``callers`` maps caller keys to 4-tuples.
+StatsTable = Dict[Tuple[str, int, str], tuple]
+
+
+class _State:
+    """Mutable module state (a class so tests can snapshot/restore it)."""
+
+    __slots__ = ("enabled", "buffer")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.buffer: List[StatsTable] = []
+
+
+_STATE = _State()
+
+
+def enable() -> None:
+    """Profile every subsequent trial execution."""
+    _STATE.enabled = True
+
+
+def disable() -> None:
+    """Stop profiling; already-collected tables are kept until drained."""
+    _STATE.enabled = False
+
+
+def is_enabled() -> bool:
+    """True while per-trial profiling is requested."""
+    return _STATE.enabled
+
+
+def reset() -> None:
+    """Disable and discard everything (test isolation helper)."""
+    _STATE.enabled = False
+    _STATE.buffer = []
+
+
+def profiled_call(fn: Callable, *args: Any, **kwargs: Any) -> Tuple[Any, StatsTable]:
+    """Run ``fn`` under cProfile; return ``(result, raw stats table)``."""
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    profiler.create_stats()
+    return result, profiler.stats  # type: ignore[attr-defined]
+
+
+def extend(tables: Iterable[StatsTable]) -> None:
+    """Add stats tables (e.g. shipped back from workers) to the buffer."""
+    _STATE.buffer.extend(tables)
+
+
+def stats_buffer() -> List[StatsTable]:
+    """The collected per-trial tables (live reference; prefer drain)."""
+    return _STATE.buffer
+
+
+def drain() -> List[StatsTable]:
+    """Return all collected tables and clear the buffer."""
+    drained = _STATE.buffer
+    _STATE.buffer = []
+    return drained
+
+
+def merge_stats(tables: Iterable[StatsTable]) -> StatsTable:
+    """Sum per-function totals (and caller edges) across stats tables.
+
+    Equivalent to :meth:`pstats.Stats.add` but operating on the raw
+    dictionaries, so worker tables merge without round-tripping through
+    temporary files.
+    """
+    merged: StatsTable = {}
+    for table in tables:
+        for func, (cc, nc, tt, ct, callers) in table.items():
+            if func in merged:
+                mcc, mnc, mtt, mct, mcallers = merged[func]
+                combined = dict(mcallers)
+                for caller, counts in callers.items():
+                    if caller in combined:
+                        combined[caller] = tuple(
+                            a + b for a, b in zip(combined[caller], counts)
+                        )
+                    else:
+                        combined[caller] = counts
+                merged[func] = (mcc + cc, mnc + nc, mtt + tt, mct + ct, combined)
+            else:
+                merged[func] = (cc, nc, tt, ct, dict(callers))
+    return merged
+
+
+def write_pstats(path: Union[str, Path], merged: StatsTable) -> Path:
+    """Write a merged table as a standard ``.pstats`` file.
+
+    The format is exactly what :meth:`cProfile.Profile.dump_stats`
+    produces (a marshalled stats dict), so ``pstats.Stats(str(path))``
+    and ``python -m pstats`` open it directly.
+    """
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("wb") as handle:
+        marshal.dump(merged, handle)
+    return target
+
+
+def _short_location(func: Tuple[str, int, str]) -> str:
+    filename, lineno, name = func
+    if filename == "~":  # built-in functions have no file
+        return name
+    tail = "/".join(Path(filename).parts[-2:])
+    return f"{tail}:{lineno}({name})"
+
+
+def top_table(merged: StatsTable, limit: int = 20) -> List[Dict[str, object]]:
+    """The hottest functions by cumulative time, as ``format_table`` rows."""
+    ordered = sorted(merged.items(), key=lambda item: -item[1][3])
+    rows: List[Dict[str, object]] = []
+    for func, (cc, nc, tt, ct, _callers) in ordered[:limit]:
+        rows.append(
+            {
+                "function": _short_location(func),
+                "calls": nc,
+                "tottime_ms": round(tt * 1000.0, 3),
+                "cumtime_ms": round(ct * 1000.0, 3),
+            }
+        )
+    return rows

@@ -8,7 +8,13 @@ import pytest
 
 import repro.campaign.orchestrator as orchestrator_module
 from repro.campaign.orchestrator import run_campaign
-from repro.campaign.report import axis_marginal_rows, cell_rows, render_csv, render_markdown
+from repro.campaign.report import (
+    axis_marginal_rows,
+    cell_rows,
+    render_csv,
+    render_markdown,
+    slowest_cell_rows,
+)
 from repro.campaign.spec import parse_campaign
 from repro.campaign.store import ResultStore
 from repro.runner.executor import create_worker_pool
@@ -167,6 +173,30 @@ class TestReport:
         assert "## camp-alpha" in text
         assert "### camp-alpha by scale" in text
         assert "## camp-beta" in text
+        assert "## Slowest cells" in text
+
+    def test_slowest_cells_rank_by_stored_wall(self, campaign_scenarios, store):
+        spec = _two_scenario_spec()
+        result = run_campaign(spec, store, workers=1)
+        # Pin walls on the stored manifests so the ranking is deterministic
+        # regardless of real execution time; labels break the tie at 0.5.
+        walls = {}
+        for index, outcome in enumerate(result.outcomes):
+            outcome.manifest.duration_seconds = 0.5 if index < 2 else float(index)
+            walls[outcome.cell.label] = outcome.manifest.duration_seconds
+        rows = slowest_cell_rows(result.outcomes, limit=3)
+        assert len(rows) == 3
+        assert [row["wall_s"] for row in rows] == sorted(
+            (row["wall_s"] for row in rows), reverse=True
+        )
+        tied = sorted(label for label, wall in walls.items() if wall == 0.5)
+        assert rows[-1]["cell"] == tied[0]  # tie broken on label
+        assert all(
+            row["trials"] > 0 and row["scenario"] in {"camp-alpha", "camp-beta"}
+            for row in rows
+        )
+        # limit caps the table even when more cells exist.
+        assert len(slowest_cell_rows(result.outcomes, limit=2)) == 2
 
 
 class TestCampaignCli:

@@ -262,3 +262,57 @@ class TestDiffCli:
         a = self._write(tmp_path / "a.json", _manifest(summary=[_summary_row("x", 0.5, 0.1)]))
         assert main(["diff", a, a, "--metrics", "no_such_metric"]) == 1
         assert "exist in neither manifest" in capsys.readouterr().out
+
+
+class TestStragglerFactor:
+    def _stats_manifest(self, walls):
+        return _manifest(
+            rows=[{"trial": i, "seed": i} for i in range(len(walls))],
+            trial_stats=[
+                {"trial": i, "wall_seconds": wall, "pid": 1}
+                for i, wall in enumerate(walls)
+            ],
+        )
+
+    def test_factor_threads_into_straggler_rows(self):
+        # 0.25 is 2.5x the median: invisible at the default 3x, flagged at 2x.
+        manifest = self._stats_manifest([0.1, 0.1, 0.1, 0.25])
+        lax = diff_manifests(manifest, manifest)
+        assert lax["straggler_factor"] == 3.0
+        assert lax["stragglers_a"] == []
+        strict = diff_manifests(manifest, manifest, straggler_factor=2.0)
+        assert strict["straggler_factor"] == 2.0
+        assert [row["trial"] for row in strict["stragglers_a"]] == [3]
+        assert strict["stragglers_b"] == strict["stragglers_a"]
+
+    def test_non_positive_factor_rejected(self):
+        manifest = self._stats_manifest([0.1])
+        with pytest.raises(ValueError):
+            diff_manifests(manifest, manifest, straggler_factor=0.0)
+        with pytest.raises(ValueError):
+            diff_manifests(manifest, manifest, straggler_factor=-1.0)
+
+    def test_format_diff_names_the_factor(self):
+        manifest = self._stats_manifest([0.1, 0.1, 0.1, 0.25])
+        text = format_diff(diff_manifests(manifest, manifest, straggler_factor=2.0))
+        assert "> 2x the" in text
+
+    def test_cli_flag_reaches_the_report(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        path = tmp_path / "m.json"
+        path.write_text(self._stats_manifest([0.1, 0.1, 0.1, 0.25]).to_json())
+        # Informational only: flagged stragglers never flip the exit code.
+        assert main(["diff", str(path), str(path), "--straggler-factor", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "straggler trials in a (> 2x the" in out
+        assert main(["diff", str(path), str(path)]) == 0
+        assert "straggler" not in capsys.readouterr().out
+
+    def test_cli_rejects_bad_factor(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        path = tmp_path / "m.json"
+        path.write_text(self._stats_manifest([0.1]).to_json())
+        assert main(["diff", str(path), str(path), "--straggler-factor", "0"]) == 2
+        assert "positive" in capsys.readouterr().err

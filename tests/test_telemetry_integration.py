@@ -293,3 +293,87 @@ class TestCampaignTiming:
         cached = run_campaign(spec, store)
         assert all(outcome.cached for outcome in cached.outcomes)
         assert render_csv(cached.outcomes) == render_csv(fresh.outcomes)
+
+
+class TestResumeTelemetryMerge:
+    """Observability across ``--resume``: no double-counting.
+
+    A resumed run executes only the missing trials, so its recorded
+    spans/counters/metric samples must cover exactly those trials --
+    cached rows contribute their *stored* trial_stats but no fresh
+    events -- while the merged row set stays byte-identical to an
+    uninterrupted run's.
+    """
+
+    def _partial(self, manifest: RunManifest) -> RunManifest:
+        data = json.loads(manifest.to_json())
+        data["rows"] = data["rows"][:1]
+        data["trial_count"] = 1
+        data["trial_stats"] = data["trial_stats"][:1]
+        return RunManifest.from_dict(data)
+
+    def test_resumed_run_records_only_executed_trials(self):
+        telemetry.enable()
+        full = run_churn()
+        full_events = telemetry.drain()
+        telemetry.reset()
+
+        telemetry.enable()
+        resumed = run_scenario(
+            "churn",
+            overrides=CHURN_PARAMS,
+            seed=7,
+            resume=self._partial(full),
+        )
+        resumed_events = telemetry.drain()
+        telemetry.reset()
+
+        assert resumed.trial_rows_equal(full)
+
+        def runs(events):
+            return [e for e in events if e.get("name") == "trial.run"]
+
+        assert len(runs(full_events)) == full.trial_count == 2
+        # Only the missing trial executed -- and it is trial 1, not a
+        # re-run of the cached trial 0.
+        (resumed_run,) = runs(resumed_events)
+        assert resumed_run["args"]["trial"] == 1
+
+        # Counters accumulated less work than the full run: cached
+        # trials contribute no fresh kernel draws.
+        def draw_total(summary):
+            return summary["counters"]["kernel.draws"]
+
+        assert 0 < draw_total(resumed.telemetry) < draw_total(full.telemetry)
+
+        # trial_stats merge prior + fresh without duplication.
+        assert len(resumed.trial_stats) == full.trial_count
+        assert [s["trial"] for s in resumed.trial_stats] == [0, 1]
+
+    def test_resumed_metrics_cover_only_executed_trials(self):
+        from repro.telemetry import metrics
+
+        metrics.reset()
+        load_builtin_scenarios()
+        params = {"trials": 2, "files": 6, "horizon_s": 120.0}
+        try:
+            metrics.enable()
+            full = run_scenario("lifecycle_churn", overrides=params, seed=7)
+            metrics.reset()
+            metrics.enable()
+            resumed = run_scenario(
+                "lifecycle_churn",
+                overrides=params,
+                seed=7,
+                resume=self._partial(full),
+            )
+        finally:
+            metrics.reset()
+        assert resumed.trial_rows_equal(full)
+        latency = "lifecycle.retrieval_latency_s"
+        full_count = full.metrics["histograms"][latency]["count"]
+        resumed_count = resumed.metrics["histograms"][latency]["count"]
+        # The resumed histogram holds exactly the executed trial's
+        # samples: trial 1's 'served' row value, not the full total.
+        assert resumed_count == resumed.rows[1]["served"]
+        assert resumed_count < full_count == sum(r["served"] for r in full.rows)
