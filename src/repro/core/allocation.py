@@ -55,12 +55,17 @@ class AllocationTable:
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple[int, int], AllocEntry] = {}
+        # Per-file index so entries_for_file / remove_file stay O(replicas)
+        # instead of scanning the whole table (quadratic during fills).
+        self._by_file: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def set(self, file_id: int, index: int, entry: AllocEntry) -> None:
         """Insert or replace the entry for ``(file_id, index)``."""
+        if (file_id, index) not in self._entries:
+            self._by_file.setdefault(file_id, []).append(index)
         self._entries[(file_id, index)] = entry
 
     def get(self, file_id: int, index: int) -> AllocEntry:
@@ -77,21 +82,22 @@ class AllocationTable:
 
     def remove_file(self, file_id: int) -> int:
         """Drop every allocation of ``file_id``; returns how many were removed."""
-        keys = [key for key in self._entries if key[0] == file_id]
-        for key in keys:
-            del self._entries[key]
-        return len(keys)
+        indices = self._by_file.pop(file_id, [])
+        for index in indices:
+            del self._entries[(file_id, index)]
+        return len(indices)
 
     # ------------------------------------------------------------------
     # Queries used by the protocol and experiments
     # ------------------------------------------------------------------
     def entries_for_file(self, file_id: int) -> List[Tuple[int, AllocEntry]]:
         """All ``(index, entry)`` pairs of one file, ordered by index."""
-        found = [
-            (key[1], entry) for key, entry in self._entries.items() if key[0] == file_id
+        indices = self._by_file.get(file_id)
+        if not indices:
+            return []
+        return [
+            (index, self._entries[(file_id, index)]) for index in sorted(indices)
         ]
-        found.sort(key=lambda pair: pair[0])
-        return found
 
     def entries_on_sector(self, sector_id: str) -> List[Tuple[int, int, AllocEntry]]:
         """All ``(file_id, index, entry)`` whose prev or next is ``sector_id``."""

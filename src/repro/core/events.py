@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["EventType", "ProtocolEvent", "EventLog"]
+__all__ = ["EventType", "ProtocolEvent", "EventLog", "CountingEventLog"]
 
 
 class EventType(str, Enum):
@@ -102,3 +102,54 @@ class EventLog:
 
     def __len__(self) -> int:
         return len(self._events)
+
+
+class CountingEventLog:
+    """Event sink that keeps per-type counters instead of event objects.
+
+    The columnar protocol engine targets million-file runs where an
+    append-only object log would dominate peak RSS; experiments at that
+    scale only consume the log through :meth:`count`, so this drop-in
+    replacement keeps emission O(1) in memory.  Queries that need the
+    event *objects* (``all``/``of_type``/``last``) report nothing -- code
+    that depends on them should run on the object engine.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[EventType, int] = {}
+
+    def emit(
+        self,
+        event_type: EventType,
+        time: float,
+        subject: str,
+        **details: Any,
+    ) -> None:
+        """Count an event (the payload is discarded)."""
+        self._counts[event_type] = self._counts.get(event_type, 0) + 1
+
+    def count(self, event_type: EventType) -> int:
+        """Number of events of a given type."""
+        return self._counts.get(event_type, 0)
+
+    def counts(self) -> Dict[EventType, int]:
+        """Snapshot of every per-type counter."""
+        return dict(self._counts)
+
+    def all(self) -> List[ProtocolEvent]:
+        """Counting mode retains no event objects."""
+        return []
+
+    def of_type(self, event_type: EventType) -> List[ProtocolEvent]:
+        """Counting mode retains no event objects."""
+        return []
+
+    def last(self, event_type: Optional[EventType] = None) -> Optional[ProtocolEvent]:
+        """Counting mode retains no event objects."""
+        return None
+
+    def __iter__(self) -> Iterator[ProtocolEvent]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())

@@ -81,6 +81,7 @@ class FileInsurerProtocol:
         auto_prove: bool = False,
         charge_fees: bool = True,
         backend: Optional[Union[str, KernelBackend]] = None,
+        draw_batch: int = 1,
     ) -> None:
         self.params = params or ProtocolParams.small_test()
         self.ledger = ledger or Ledger()
@@ -90,9 +91,17 @@ class FileInsurerProtocol:
         #: backend-dispatched ``batch_weighted_draw`` kernel
         #: (:mod:`repro.kernels`): sector choices stay deterministic in
         #: the protocol seed and bit-identical across backends.  ``None``
-        #: keeps the original one-draw-at-a-time SHA-256 path.
+        #: keeps the original one-draw-at-a-time SHA-256 path.  In kernel
+        #: mode the selector also tracks per-slot free capacities
+        #: incrementally (every reservation/release below reports to it),
+        #: so kernel calls stop rebuilding the free table by scanning all
+        #: sectors; ``draw_batch`` > 1 additionally prefetches that many
+        #: plain refresh-target draws per kernel call.
         self.selector = CapacitySelector(
-            self.prng.spawn("sector-selection"), backend=backend
+            self.prng.spawn("sector-selection"),
+            backend=backend,
+            track_free=backend is not None,
+            draw_batch=draw_batch,
         )
         self.backend = self.selector.backend
         self.fund = InsuranceFund(self.ledger)
@@ -124,6 +133,18 @@ class FileInsurerProtocol:
         self.total_value_compensated = 0
         self.files_lost = 0
         self.files_stored = 0
+
+        # Running admission aggregates: total_capacity() and
+        # stored_replica_bytes() are on the File Add hot path (every
+        # admission check reads both), so they are maintained
+        # incrementally instead of scanning every sector record.  The
+        # *_scan variants recompute them the original way; the regression
+        # suite pins the two against each other.
+        self._agg_capacity = 0
+        self._agg_used = 0
+        #: Sector corruptions seen so far (the columnar engine's
+        #: vectorised sweeps only apply while this stays zero).
+        self._corruption_events = 0
 
         if self.charge_fees:
             self.pending.schedule(
@@ -234,6 +255,7 @@ class FileInsurerProtocol:
             registered_at=self.now,
         )
         self.sectors[sector_id] = record
+        self._agg_capacity += capacity
         self.selector.add_sector(sector_id, capacity)
         self.events.emit(
             EventType.SECTOR_REGISTERED,
@@ -288,7 +310,7 @@ class FileInsurerProtocol:
 
         file_id = self._next_file_id
         self._next_file_id += 1
-        descriptor = FileDescriptor(
+        self.files[file_id] = FileDescriptor(
             file_id=file_id,
             owner=owner,
             size=size,
@@ -297,7 +319,10 @@ class FileInsurerProtocol:
             replica_count=replica_count,
             created_at=self.now,
         )
-        self.files[file_id] = descriptor
+        # Re-fetch so mutations below go through the storage engine (a
+        # plain dict returns the same object; the columnar engine returns
+        # a view over its tables).
+        descriptor = self.files[file_id]
         self.events.emit(
             EventType.FILE_ADD_REQUESTED,
             self.now,
@@ -314,9 +339,7 @@ class FileInsurerProtocol:
         # to drawing one replica at a time.
         batched: Optional[List[Optional[str]]] = None
         if self.selector.kernel_mode:
-            batched = self.selector.select_batch(
-                [size] * replica_count, self._free_capacity_if_accepting
-            )
+            batched = self.selector.select_batch([size] * replica_count)
         for index in range(replica_count):
             sector_id = (
                 batched[index] if batched is not None
@@ -334,7 +357,7 @@ class FileInsurerProtocol:
                 )
                 return file_id
             record = self.sectors[sector_id]
-            record.reserve(size)
+            self._reserve_space(record, size)
             entry = AllocEntry(prev=None, next=sector_id, last_proof=-1.0, state=AllocState.ALLOC)
             self.alloc.set(file_id, index, entry)
             if self.charge_fees:
@@ -344,6 +367,217 @@ class FileInsurerProtocol:
         deadline = self.now + self.params.transfer_deadline(size)
         self.pending.schedule(deadline, self.TASK_CHECK_ALLOC, file_id=file_id)
         return file_id
+
+    @traced("protocol.file_add_batch", category="protocol")
+    def file_add_batch(
+        self,
+        owner: str,
+        sizes: List[int],
+        values: List[int],
+        merkle_root: bytes,
+    ) -> List[int]:
+        """Batched ``File Add``: admit and place many files per kernel call.
+
+        The batch is one protocol operation with defined semantics on both
+        storage engines (object and columnar), so their states stay
+        bit-identical:
+
+        * every file is validated up front (any malformed size/value
+          rejects the whole batch before any state change);
+        * the admission limits are applied to the *prefix*: files are
+          admitted in order, each assuming its predecessors were fully
+          placed; the first file that would exceed a limit truncates the
+          batch there (if that is the very first file, the batch raises
+          exactly like per-file ``File Add`` would);
+        * in kernel mode, gas for the admitted prefix is charged first and
+          all replica placements run as a single ``batch_weighted_draw``
+          call; per-file bookkeeping then replays in order and stops after
+          the first file whose placement failed (its descriptor is kept in
+          state ``failed``, matching per-file semantics).
+
+        Returns the ids of every descriptor created; the last id may name
+        a failed upload, which callers treat as the fill stopping point.
+        Without a kernel backend this degrades to sequential
+        :meth:`file_add` calls with the same stop-at-first-failure
+        contract (one kernel call per file is meaningless in legacy mode).
+        """
+        if len(sizes) != len(values):
+            raise ProtocolError("file_add_batch: sizes and values must align")
+        sizes = [int(size) for size in sizes]
+        values = [int(value) for value in values]
+        for size in sizes:
+            if size <= 0:
+                raise ProtocolError("file size must be positive")
+            if size > self.params.size_limit:
+                raise ProtocolError(
+                    f"file size {size} exceeds size_limit={self.params.size_limit}; "
+                    "use repro.core.large_files to segment it first"
+                )
+        for value in values:
+            if value <= 0:
+                raise ProtocolError("file value must be positive")
+        if not sizes:
+            return []
+        if not self.selector.kernel_mode:
+            ids: List[int] = []
+            for size, value in zip(sizes, values):
+                try:
+                    file_id = self.file_add(owner, size, value, merkle_root)
+                except ProtocolError:
+                    if not ids:
+                        raise
+                    break
+                ids.append(file_id)
+                if self.files[file_id].state == FileState.FAILED:
+                    break
+            return ids
+
+        replica_counts = [self.params.replica_count(value) for value in values]
+        admitted = self._admitted_prefix(sizes, values, replica_counts)
+        gas_ok = admitted
+        if self.charge_fees:
+            for index in range(admitted):
+                try:
+                    self.fees.charge_gas(owner, "file_add")
+                except InsufficientFundsError as exc:
+                    if index == 0:
+                        raise ProtocolError(
+                            f"cannot cover File Add gas: {exc}"
+                        ) from exc
+                    gas_ok = index
+                    break
+        expanded = [
+            sizes[i] for i in range(gas_ok) for _ in range(replica_counts[i])
+        ]
+        placements = self.selector.select_batch(expanded)
+        ids = []
+        cursor = 0
+        for i in range(gas_ok):
+            size, value, replica_count = sizes[i], values[i], replica_counts[i]
+            file_id = self._next_file_id
+            self._next_file_id += 1
+            self.files[file_id] = FileDescriptor(
+                file_id=file_id,
+                owner=owner,
+                size=size,
+                value=value,
+                merkle_root=merkle_root,
+                replica_count=replica_count,
+                created_at=self.now,
+            )
+            descriptor = self.files[file_id]
+            ids.append(file_id)
+            self.events.emit(
+                EventType.FILE_ADD_REQUESTED,
+                self.now,
+                f"file#{file_id}",
+                owner=owner,
+                size=size,
+                value=value,
+                replicas=replica_count,
+            )
+            failed = False
+            for index in range(replica_count):
+                sector_id = placements[cursor]
+                cursor += 1
+                if sector_id is None:
+                    self._remove_file(descriptor, reason="no capacity")
+                    descriptor.state = FileState.FAILED
+                    self.events.emit(
+                        EventType.FILE_UPLOAD_FAILED,
+                        self.now,
+                        f"file#{file_id}",
+                        reason="no sector with sufficient free capacity",
+                    )
+                    failed = True
+                    break
+                record = self.sectors[sector_id]
+                self._reserve_space(record, size)
+                self.alloc.set(
+                    file_id,
+                    index,
+                    AllocEntry(
+                        prev=None, next=sector_id, last_proof=-1.0,
+                        state=AllocState.ALLOC,
+                    ),
+                )
+                if self.charge_fees:
+                    escrow = self.fees.commit_traffic_fee(owner, record.owner, size)
+                    self._traffic_escrows[(file_id, index)] = escrow
+            if failed:
+                break  # remaining placements of the batch are discarded
+            self.pending.schedule(
+                self.now + self.params.transfer_deadline(size),
+                self.TASK_CHECK_ALLOC,
+                file_id=file_id,
+            )
+        return ids
+
+    def _admitted_prefix(
+        self, sizes: List[int], values: List[int], replica_counts: List[int]
+    ) -> int:
+        """Longest batch prefix the admission limits accept.
+
+        Each file is checked assuming its predecessors in the batch were
+        fully placed (the batch stops at the first placement failure, so
+        a file never observes a partially placed predecessor).  Raises --
+        with per-file ``_check_admission``'s exact message -- when even
+        the first file is refused.
+        """
+        total_capacity = self.total_capacity()
+        if total_capacity <= 0:
+            raise ProtocolError("no registered capacity in the network")
+        max_value = self.params.max_value_capacity(total_capacity)
+        replica_budget = total_capacity / self.params.redundancy_factor
+        base_value = self.total_value_stored - self.total_value_lost
+        base_bytes = self.stored_replica_bytes()
+        admitted = 0
+        cumulative_value = 0
+        cumulative_bytes = 0
+        for size, value, replica_count in zip(sizes, values, replica_counts):
+            if base_value + cumulative_value + value > max_value:
+                break
+            if base_bytes + cumulative_bytes + size * replica_count > replica_budget:
+                break
+            cumulative_value += value
+            cumulative_bytes += size * replica_count
+            admitted += 1
+        if admitted == 0:
+            self._check_admission(sizes[0], values[0], replica_counts[0])
+            raise ProtocolError(
+                "file batch rejected by admission limits"
+            )  # pragma: no cover - _check_admission raised already
+        return admitted
+
+    def confirm_batch(self, file_ids: List[int]) -> List[int]:
+        """Confirm every awaiting replica of ``file_ids`` on behalf of its
+        selected sector's owner.
+
+        Drives the same per-entry ``File Confirm`` transitions providers
+        would submit individually (in ``(file, index)`` order, including
+        traffic-fee release), which is what the experiment drivers do in a
+        loop today.  Returns the ids whose replicas are now all confirmed.
+        """
+        confirmed: List[int] = []
+        for file_id in file_ids:
+            descriptor = self.files.get(file_id)
+            if descriptor is None or descriptor.state != FileState.PENDING:
+                continue
+            entries = self.alloc.entries_for_file(file_id)
+            if not entries:
+                continue
+            complete = True
+            for index, entry in entries:
+                if entry.state == AllocState.ALLOC and entry.next is not None:
+                    self.file_confirm(
+                        self.sectors[entry.next].owner, file_id, index, entry.next
+                    )
+                    entry = self.alloc.get(file_id, index)
+                if entry.state != AllocState.CONFIRM:
+                    complete = False
+            if complete:
+                confirmed.append(file_id)
+        return confirmed
 
     def file_discard(self, owner: str, file_id: int) -> None:
         """``File Discard``: mark the file as discarded.
@@ -574,7 +808,7 @@ class FileInsurerProtocol:
             descriptor.countdown = self._sample_refresh_countdown()
             return
 
-        record.reserve(descriptor.size)
+        self._reserve_space(record, descriptor.size)
         entry.next = target
         entry.state = AllocState.ALLOC
         deadline = self.now + self.params.transfer_deadline(descriptor.size)
@@ -700,6 +934,9 @@ class FileInsurerProtocol:
         if record.is_corrupted:
             return
         record.state = SectorState.CORRUPTED
+        self._agg_capacity -= record.capacity
+        self._agg_used -= record.used_capacity
+        self._corruption_events += 1
         self.selector.remove_sector(record.sector_id)
         confiscated = 0
         if self.charge_fees and self.fund.deposit_of(record.sector_id) > 0:
@@ -837,7 +1074,14 @@ class FileInsurerProtocol:
             )
 
     def _select_sector_with_space(self, size: int) -> Optional[str]:
-        """``RandomSector()`` with the free-capacity retry loop of Figure 4."""
+        """``RandomSector()`` with the free-capacity retry loop of Figure 4.
+
+        With a tracked-free selector (kernel mode) the free table is the
+        selector's own columnar array -- no per-call scan; otherwise the
+        per-sector callable reproduces the original lookup.
+        """
+        if self.selector.track_free:
+            return self.selector.select_with_space(size)
         return self.selector.select_with_space(
             size, lambda sector_id: self._free_capacity_if_accepting(sector_id)
         )
@@ -852,11 +1096,24 @@ class FileInsurerProtocol:
         """``SampleExp(AvgRefresh)`` rounded up to at least one checkpoint."""
         return max(1, int(math.ceil(self.prng.expovariate(self.params.avg_refresh))))
 
+    def _reserve_space(self, record: SectorRecord, size: int) -> None:
+        """Reserve replica space, keeping the running aggregates and the
+        selector's tracked free table in sync with the record."""
+        record.reserve(size)
+        self._agg_used += size
+        self.selector.set_free(record.sector_id, record.free_capacity)
+
+    def _release_space(self, record: SectorRecord, size: int) -> None:
+        """Inverse of :meth:`_reserve_space` (callers guard the state)."""
+        record.release(size)
+        self._agg_used -= size
+        self.selector.set_free(record.sector_id, record.free_capacity)
+
     def _release_replica_from_sector(self, sector_id: str, size: int) -> None:
         record = self.sectors.get(sector_id)
         if record is None or record.is_corrupted or record.state == SectorState.REMOVED:
             return
-        record.release(size)
+        self._release_space(record, size)
         self._maybe_remove_sector(record)
 
     def _release_next_reservation(self, descriptor: FileDescriptor, entry: AllocEntry) -> None:
@@ -887,6 +1144,8 @@ class FileInsurerProtocol:
         if not record.is_drained:
             return
         record.state = SectorState.REMOVED
+        self._agg_capacity -= record.capacity
+        self._agg_used -= record.used_capacity
         self.selector.remove_sector(record.sector_id)
         if self.charge_fees and self.fund.deposit_of(record.sector_id) > 0:
             refunded = self.fund.refund(record.sector_id)
@@ -915,7 +1174,16 @@ class FileInsurerProtocol:
     # Aggregate queries (used by analysis, experiments and the chain app)
     # ==================================================================
     def total_capacity(self) -> int:
-        """Total capacity of all non-removed, non-corrupted sectors."""
+        """Total capacity of all non-removed, non-corrupted sectors.
+
+        O(1): maintained incrementally by sector registration, corruption
+        and removal (see :meth:`total_capacity_scan` for the original
+        full-scan definition, kept as the regression oracle).
+        """
+        return self._agg_capacity
+
+    def total_capacity_scan(self) -> int:
+        """:meth:`total_capacity` recomputed by scanning every record."""
         return sum(
             record.capacity
             for record in self.sectors.values()
@@ -936,7 +1204,15 @@ class FileInsurerProtocol:
         return total / self.params.min_value
 
     def stored_replica_bytes(self) -> int:
-        """Total bytes of replicas currently reserved in sectors."""
+        """Total bytes of replicas currently reserved in sectors.
+
+        O(1): maintained incrementally by every reservation/release and by
+        sector corruption/removal (see :meth:`stored_replica_bytes_scan`).
+        """
+        return self._agg_used
+
+    def stored_replica_bytes_scan(self) -> int:
+        """:meth:`stored_replica_bytes` recomputed by scanning records."""
         return sum(
             record.used_capacity
             for record in self.sectors.values()

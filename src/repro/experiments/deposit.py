@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.chain.ledger import Ledger
 from repro.core.analysis import theorem4_deposit_ratio_bound
+from repro.core.columnar import ColumnarProtocol
 from repro.core.params import ProtocolParams
 from repro.core.protocol import FileInsurerProtocol
 from repro.crypto.prng import DeterministicPRNG
@@ -47,6 +48,9 @@ def run_bound_sweep(
     return rows
 
 
+_ENGINES = {"object": FileInsurerProtocol, "columnar": ColumnarProtocol}
+
+
 def run_protocol_check(
     n_providers: int = 30,
     files: int = 60,
@@ -54,23 +58,31 @@ def run_protocol_check(
     deposit_ratio: float = 0.2,
     k: int = 4,
     seed: int = 1,
+    backend: Optional[str] = None,
+    engine: str = "object",
 ) -> Dict[str, object]:
     """End-to-end compensation check on the real protocol state machine.
 
     Uses a small deployment (one sector per provider, equal capacities) and
     a deposit ratio prescribed by Theorem 4 *for the scaled parameters*, so
-    full compensation should hold except with tiny probability.
+    full compensation should hold except with tiny probability.  ``engine``
+    selects the state layout (``object`` or ``columnar``) and ``backend`` a
+    :mod:`repro.kernels` backend for sector draws; neither appears in the
+    result row, so ``repro diff`` can assert row identity across backends.
     """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown protocol engine {engine!r}")
     params = ProtocolParams.small_test().scaled(
         k=k, deposit_ratio=deposit_ratio, cap_para=float(files) / n_providers * 2
     )
     ledger = Ledger()
-    protocol = FileInsurerProtocol(
+    protocol = _ENGINES[engine](
         params=params,
         ledger=ledger,
         prng=DeterministicPRNG.from_int(seed, domain="deposit-exp"),
         health_oracle=lambda sector_id: True,
         auto_prove=True,
+        backend=backend,
     )
     for index in range(n_providers):
         owner = f"prov-{index}"
@@ -127,6 +139,10 @@ _SCENARIO_PARAMS = {
     "deposit_ratio": ParamSpec(0.2, "deposit ratio prescribed for the scaled run"),
     "k": ParamSpec(4, "replicas per file"),
     "lambdas": ParamSpec((0.1, 0.25, 0.5, 0.75, 0.9), "bound-sweep lambdas"),
+    "backend": ParamSpec(
+        "auto", "simulation-kernel backend (auto, reference or vectorized)"
+    ),
+    "engine": ParamSpec("columnar", "protocol storage engine (object or columnar)"),
 }
 
 
@@ -139,6 +155,8 @@ def _build_trials(params):
             "corrupt_fraction": params["corrupt_fraction"],
             "deposit_ratio": params["deposit_ratio"],
             "k": params["k"],
+            "backend": params["backend"],
+            "engine": params["engine"],
         }
         for _ in range(params["checks"])
     ]
@@ -182,6 +200,8 @@ def _deposit_trial(task) -> Dict[str, object]:
         deposit_ratio=task["deposit_ratio"],
         k=task["k"],
         seed=task["seed"],
+        backend=task["backend"],
+        engine=task["engine"],
     )
 
 

@@ -26,6 +26,7 @@ from repro.core.analysis import (
     scalability_r2,
     theorem1_max_storable_size,
 )
+from repro.core.columnar import ColumnarProtocol
 from repro.core.file_descriptor import FileState
 from repro.core.params import ProtocolParams
 from repro.core.protocol import FileInsurerProtocol, ProtocolError
@@ -88,22 +89,41 @@ def run_bound_sweep(
     return rows
 
 
+_ENGINES = {"object": FileInsurerProtocol, "columnar": ColumnarProtocol}
+
+
 def run_fill_experiment(
     n_providers: int = 20,
     k: int = 3,
     file_size_fraction: float = 0.02,
     seed: int = 3,
+    backend: Optional[str] = None,
+    engine: str = "object",
+    add_batch: int = 256,
+    max_files: int = 100_000,
 ) -> Dict[str, object]:
-    """Fill a real deployment until allocation fails; compare with Theorem 1."""
+    """Fill a real deployment until allocation fails; compare with Theorem 1.
+
+    ``engine`` selects the protocol state layout (``object`` dataclasses or
+    the ``columnar`` structure-of-arrays engine) and ``backend`` a
+    :mod:`repro.kernels` backend for sector draws.  With a backend the fill
+    drives batched ``File Add`` (``add_batch`` files per kernel call);
+    without one it submits files one at a time through the legacy draw
+    path.  The result row never records engine/backend/batch choices, so
+    ``repro diff`` can assert row identity across kernel backends.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown protocol engine {engine!r}")
     params = ProtocolParams.small_test().scaled(k=k, cap_para=1000.0)
     ledger = Ledger()
-    protocol = FileInsurerProtocol(
+    protocol = _ENGINES[engine](
         params=params,
         ledger=ledger,
         prng=DeterministicPRNG.from_int(seed, domain="scalability-exp"),
         health_oracle=lambda sector_id: True,
         auto_prove=True,
         charge_fees=False,
+        backend=backend,
     )
     for index in range(n_providers):
         protocol.sector_register(f"prov-{index}", params.min_capacity)
@@ -111,26 +131,50 @@ def run_fill_experiment(
     file_size = int(params.min_capacity * file_size_fraction)
     stored_raw_bytes = 0
     stored_files = 0
-    while True:
-        try:
-            file_id = protocol.file_add("client", file_size, 1, b"\x00" * 32)
-        except ProtocolError:
-            # The network refused the file: a design limit (value cap or the
-            # redundant-capacity budget) has been reached.
-            break
-        descriptor = protocol.files[file_id]
-        if descriptor.state == FileState.FAILED:
-            break
-        for index, entry in protocol.alloc.entries_for_file(file_id):
-            if entry.next is not None:
-                owner = protocol.sectors[entry.next].owner
-                protocol.file_confirm(owner, file_id, index, entry.next)
-        stored_raw_bytes += file_size
-        stored_files += 1
-        if stored_files > 100_000:  # pragma: no cover - safety stop
-            break
+    if backend is not None:
+        while stored_files < max_files:
+            batch = min(add_batch, max_files - stored_files)
+            try:
+                file_ids = protocol.file_add_batch(
+                    "client", [file_size] * batch, [1] * batch, b"\x00" * 32
+                )
+            except ProtocolError:
+                break
+            protocol.confirm_batch(file_ids)
+            placed = [
+                fid for fid in file_ids
+                if protocol.files[fid].state != FileState.FAILED
+            ]
+            stored_files += len(placed)
+            stored_raw_bytes += len(placed) * file_size
+            if len(placed) < batch:
+                # Admission truncated the batch or placement failed: the
+                # network is full.
+                break
+    else:
+        while True:
+            try:
+                file_id = protocol.file_add("client", file_size, 1, b"\x00" * 32)
+            except ProtocolError:
+                # The network refused the file: a design limit (value cap or
+                # the redundant-capacity budget) has been reached.
+                break
+            descriptor = protocol.files[file_id]
+            if descriptor.state == FileState.FAILED:
+                break
+            for index, entry in protocol.alloc.entries_for_file(file_id):
+                if entry.next is not None:
+                    owner = protocol.sectors[entry.next].owner
+                    protocol.file_confirm(owner, file_id, index, entry.next)
+            stored_raw_bytes += file_size
+            stored_files += 1
+            if stored_files >= max_files:  # pragma: no cover - safety stop
+                break
 
-    population = FilePopulation(sizes=(file_size,) * max(stored_files, 1), values=(1,) * max(stored_files, 1))
+    # Every stored file is identical, and r1/r2 are ratios of per-file sums,
+    # so a single-element population evaluates to exactly the same constants
+    # without materialising a million-entry tuple.
+    population = FilePopulation(sizes=(file_size,), values=(1,))
     r1 = scalability_r1(population)
     r2 = scalability_r2(population, min_capacity=params.min_capacity, cap_para=params.cap_para)
     bound = theorem1_max_storable_size(n_providers, params.min_capacity, params.k, r1, r2)
@@ -155,6 +199,12 @@ _SCENARIO_PARAMS = {
     "providers": ParamSpec((10, 20), "network sizes for the fill experiment"),
     "k": ParamSpec(3, "replicas per file"),
     "file_size_fraction": ParamSpec(0.02, "file size as a fraction of minCapacity"),
+    "backend": ParamSpec(
+        "auto", "simulation-kernel backend (auto, reference or vectorized)"
+    ),
+    "engine": ParamSpec("columnar", "protocol storage engine (object or columnar)"),
+    "add_batch": ParamSpec(256, "files per batched File Add on the kernel path"),
+    "max_files": ParamSpec(100_000, "stop each fill after this many stored files"),
 }
 
 
@@ -165,6 +215,10 @@ def _build_trials(params):
             "n_providers": int(n_providers),
             "k": params["k"],
             "file_size_fraction": params["file_size_fraction"],
+            "backend": params["backend"],
+            "engine": params["engine"],
+            "add_batch": params["add_batch"],
+            "max_files": params["max_files"],
         }
         for n_providers in params["providers"]
     ]
@@ -199,6 +253,10 @@ def _scalability_trial(task) -> Dict[str, object]:
         k=task["k"],
         file_size_fraction=task["file_size_fraction"],
         seed=task["seed"],
+        backend=task["backend"],
+        engine=task["engine"],
+        add_batch=task["add_batch"],
+        max_files=task["max_files"],
     )
 
 

@@ -95,8 +95,17 @@ class _WeightedDrawEngine:
         self._stream = U32Stream(rng)
         # Exact running total (python int): int64 summation could wrap
         # silently for adversarial tables, and the total drives both the
-        # guard and the candidate geometry.
-        self._total = sum(weights.tolist())
+        # guard and the candidate geometry.  The C summation is provably
+        # exact when max * size cannot reach 2**63; only adversarial
+        # tables pay for python-int arithmetic.
+        if weights.size == 0:
+            self._total = 0
+        else:
+            peak = int(weights.max())
+            if peak.bit_length() + int(weights.size).bit_length() <= 62:
+                self._total = int(weights.sum())
+            else:
+                self._total = sum(weights.tolist())
         self._dirty = True
         self._cum = _EMPTY_I64
         self._n_words = 1
@@ -106,6 +115,11 @@ class _WeightedDrawEngine:
         self._used_words = _EMPTY_I64  # words consumed through each of them
         self._pos = 0  # accepted candidates already handed out
         self._chunk_words = 0  # total words the current chunk peeked
+        # Chunks grow geometrically: single-draw calls (refresh target
+        # selection) decode a handful of candidates, long place runs
+        # reach the full chunk within a few refills.  Purely a cost
+        # knob -- chunking never changes which words a draw consumes.
+        self._chunk_candidates = 8
 
     @property
     def total(self) -> int:
@@ -142,7 +156,9 @@ class _WeightedDrawEngine:
         if self._chunk_words:
             self._stream.advance(self._chunk_words)
         n_words = self._n_words
-        self._chunk_words = _DRAW_CHUNK_CANDIDATES * n_words
+        candidates = self._chunk_candidates
+        self._chunk_candidates = min(candidates * 4, _DRAW_CHUNK_CANDIDATES)
+        self._chunk_words = candidates * n_words
         words = self._stream.peek(self._chunk_words).astype(np.uint64)
         if n_words == 1:
             values = words >> self._shift
@@ -180,6 +196,52 @@ class _WeightedDrawEngine:
             self._pos += take
             filled += take
         return out
+
+    def peek_slots(self, count: int) -> np.ndarray:
+        """Up to ``count`` decoded-but-unconsumed candidates (>= 1).
+
+        The returned candidates stay pending until :meth:`consume`; the
+        place-run resolver uses this to accept a whole prefix in one
+        vectorised step while keeping stream accounting identical to
+        one :meth:`next_slot` call per accepted candidate.
+        """
+        if self._dirty:
+            self._rebuild()
+        while self._pos >= self._slots.size:
+            self._refill()
+        return self._slots[self._pos : self._pos + count]
+
+    def consume(self, count: int) -> None:
+        """Commit ``count`` peeked candidates as handed out."""
+        self._pos += count
+
+
+def _accepted_prefix(
+    free_table: np.ndarray, slots: np.ndarray, sizes: np.ndarray
+) -> int:
+    """Length of the accepted prefix when each draw takes its candidate.
+
+    Draw ``i`` accepts iff its slot still has ``sizes[i]`` free after the
+    demand of earlier *accepted* draws on the same slot.  Computed under
+    the all-accept assumption, which is exact up to the first rejection:
+    draws before it really do all accept, so their per-slot prior demand
+    is the true one.  Returns ``slots.size`` when every draw accepts.
+    """
+    order = np.argsort(slots, kind="stable")
+    slot_sorted = slots[order]
+    size_sorted = sizes[order]
+    csum = np.cumsum(size_sorted)
+    prior = csum - size_sorted
+    new_group = np.empty(slot_sorted.size, dtype=bool)
+    new_group[0] = True
+    np.not_equal(slot_sorted[1:], slot_sorted[:-1], out=new_group[1:])
+    group_base = prior[new_group][np.cumsum(new_group) - 1]
+    ok_sorted = free_table[slot_sorted] - (prior - group_base) >= size_sorted
+    if ok_sorted.all():
+        return int(slots.size)
+    ok = np.empty(slots.size, dtype=bool)
+    ok[order] = ok_sorted
+    return int(np.argmin(ok))
 
 
 class VectorizedKernels(KernelBackend):
@@ -522,10 +584,14 @@ class VectorizedKernels(KernelBackend):
         parts: List[np.ndarray] = []
         attempts = 0
         collisions = 0
-        for op in op_list:
+        index = 0
+        n_ops = len(op_list)
+        while index < n_ops:
+            op = op_list[index]
             kind = op[0]
             if kind == "set":
                 engine.set_weight(op[1], op[2])
+                index += 1
                 continue
             total_weight_guard(engine.total)
             if kind == "draw":
@@ -533,9 +599,41 @@ class VectorizedKernels(KernelBackend):
                 if count:
                     parts.append(engine.next_slots(count))
                     attempts += count
-            else:  # place: acceptance depends on the evolving free table,
-                # so resolve sequentially over the pre-decoded candidates.
-                size, max_attempts = op[1], op[2]
+                index += 1
+                continue
+            # A maximal run of consecutive place ops sees a constant weight
+            # table, so the candidate stream is fixed up front and whole
+            # accepted prefixes commit in one vectorised step.  Only a draw
+            # whose candidate collides falls back to the scalar retry loop;
+            # stream consumption (one candidate per attempt) stays identical
+            # to the reference backend.
+            run_end = index
+            while run_end < n_ops and op_list[run_end][0] == "place":
+                run_end += 1
+            run_sizes = np.asarray(
+                [op_list[position][1] for position in range(index, run_end)],
+                dtype=np.int64,
+            )
+            placed_run = np.full(run_end - index, -1, dtype=np.int64)
+            at = 0
+            run_len = placed_run.size
+            while at < run_len:
+                candidates = engine.peek_slots(run_len - at)
+                window = candidates.size
+                sizes = run_sizes[at : at + window]
+                first_bad = _accepted_prefix(free_table, candidates, sizes)
+                if first_bad:
+                    accepted = candidates[:first_bad]
+                    np.subtract.at(free_table, accepted, sizes[:first_bad])
+                    placed_run[at : at + first_bad] = accepted
+                    engine.consume(first_bad)
+                    attempts += first_bad
+                    at += first_bad
+                    continue
+                # Head draw collides: resolve it alone, honouring its
+                # max_attempts budget exactly as the reference loop does.
+                size = int(run_sizes[at])
+                max_attempts = op_list[index + at][2]
                 placed = -1
                 for _ in range(max_attempts):
                     slot = engine.next_slot()
@@ -545,7 +643,10 @@ class VectorizedKernels(KernelBackend):
                         placed = slot
                         break
                     collisions += 1
-                parts.append(np.asarray([placed], dtype=np.int64))
+                placed_run[at] = placed
+                at += 1
+            parts.append(placed_run)
+            index = run_end
         keys = np.concatenate(parts) if parts else _EMPTY_I64.copy()
         return BatchDrawResult(
             keys=keys.astype(np.int64, copy=False), attempts=attempts, collisions=collisions

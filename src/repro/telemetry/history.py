@@ -194,6 +194,9 @@ def entries_from_artifact(
       per backend wall;
     * ``BENCH_telemetry.json`` (``benchmarks/bench_telemetry.py``):
       traced/untraced walls plus the overhead percentage;
+    * ``BENCH_protocol.json``
+      (``benchmarks/test_bench_protocol_columnar.py``): per-engine File
+      Add and proof-round walls, normalised to seconds per 1000 files;
     * a plain run manifest (``repro bench/run ... --out``): the run's
       ``duration_seconds``.
 
@@ -201,6 +204,42 @@ def entries_from_artifact(
     not silently record nothing.
     """
     kwargs = {"version": version, "source": source}
+
+    if data.get("kind") == "protocol_columnar_bench":
+        # ``benchmarks/test_bench_protocol_columnar.py``: File Add
+        # throughput and proof-round wall per engine.  Walls are
+        # normalised to seconds per 1000 files so the columnar full run
+        # and the object capped slice land on comparable scales.
+        deployment = {
+            "providers": data.get("providers"),
+            "k": data.get("k"),
+            "add_batch": data.get("add_batch"),
+        }
+        entries = []
+        for engine in ("columnar", "object"):
+            row = data.get(engine) or {}
+            shape = dict(deployment, files=row.get("files"))
+            for bench, field in (
+                ("protocol.file_add", "add_wall_s"),
+                ("protocol.proof_round", "proof_wall_s"),
+            ):
+                files = row.get("files") or 0
+                if field in row and files:
+                    entries.append(
+                        make_entry(
+                            bench,
+                            1000.0 * float(row[field]) / float(files),
+                            unit="s/kfile",
+                            shape=shape,
+                            backend=engine,
+                            **kwargs,
+                        )
+                    )
+        if not entries:
+            raise ValueError(
+                "protocol_columnar_bench artifact carries no engine walls"
+            )
+        return entries
 
     if data.get("kind") == "scenario_backend_sweep":
         scenario = str(data.get("scenario"))

@@ -459,3 +459,161 @@ def test_lifecycle_invariants_hold_under_generated_dynamics(
             # LOST is entered once, as the final transition, ever.
             assert lost_hits == [len(machine.history) - 1]
             assert machine.state is FileLifecycleState.LOST
+
+
+# ----------------------------------------------------------------------
+# Columnar protocol engine: differential equivalence with the object
+# engine under hypothesis-generated operation streams
+# ----------------------------------------------------------------------
+def _protocol_fingerprint(protocol):
+    """Everything consensus-visible, as one comparable structure."""
+    from repro.core.events import EventType
+
+    return {
+        "sectors": {
+            sid: (rec.owner, rec.capacity, rec.free_capacity, rec.deposit,
+                  rec.state.value, rec.registered_at, rec.stored_replicas)
+            for sid, rec in sorted(protocol.sectors.items())
+        },
+        "files": {
+            fid: (desc.owner, desc.size, desc.value, desc.replica_count,
+                  desc.countdown, desc.state.value, desc.created_at,
+                  desc.rent_paid, desc.compensation_received)
+            for fid, desc in sorted(protocol.files.items())
+        },
+        "alloc": sorted(
+            ((int(fid), int(idx)),
+             (entry.prev, entry.next, entry.last_proof, entry.state.value))
+            for (fid, idx), entry in protocol.alloc.all_entries()
+        ),
+        "pending": [
+            (task.time, task.kind, tuple(sorted(task.payload.items())))
+            for task in protocol.pending.tasks()
+        ],
+        "ledger": sorted(
+            (account.address, account.balance, account.escrowed)
+            for account in protocol.ledger.accounts()
+        ),
+        "events": {et.value: protocol.events.count(et) for et in EventType},
+        "aggregates": (
+            protocol.snapshot(),
+            protocol.total_value_lost,
+            protocol.stored_replica_bytes(),
+        ),
+    }
+
+
+def _build_engine_pair(seed, backend, charge_fees):
+    from repro.core.columnar import ColumnarProtocol
+    from repro.core.params import ProtocolParams
+    from repro.core.protocol import FileInsurerProtocol
+
+    pair = []
+    for cls in (FileInsurerProtocol, ColumnarProtocol):
+        ledger = Ledger()
+        protocol = cls(
+            params=ProtocolParams.small_test(),
+            ledger=ledger,
+            prng=DeterministicPRNG.from_int(seed, domain="columnar-hyp"),
+            health_oracle=lambda sector_id: True,
+            auto_prove=True,
+            charge_fees=charge_fees,
+            backend=backend,
+        )
+        for index in range(4):
+            owner = f"prov-{index}"
+            ledger.mint(owner, 50_000_000)
+            protocol.sector_register(owner, 4 * (1 << 20))
+        ledger.mint("client", 500_000_000)
+        pair.append(protocol)
+    return pair
+
+
+_HYP_OP = st.one_of(
+    st.tuples(
+        st.just("batch"),
+        st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=3),
+    ),
+    st.tuples(st.just("add"), st.integers(min_value=1, max_value=16)),
+    st.tuples(st.just("advance"), st.sampled_from([30.0, 65.0, 140.0])),
+    st.tuples(st.just("crash"), st.integers(min_value=0, max_value=3)),
+    st.tuples(st.just("discard"), st.integers(min_value=0, max_value=40)),
+    st.tuples(st.just("disable"), st.integers(min_value=0, max_value=3)),
+)
+
+
+def _apply_protocol_op(protocol, op):
+    """Run one generated op; returns the error message if it was refused."""
+    from repro.core.protocol import ProtocolError
+
+    root = b"\x06" * 32
+    try:
+        if op[0] == "batch":
+            sizes = [units * 16 * 1024 for units in op[1]]
+            ids = protocol.file_add_batch("client", sizes, [op[2]] * len(sizes), root)
+            protocol.confirm_batch(ids)
+        elif op[0] == "add":
+            file_id = protocol.file_add("client", op[1] * 16 * 1024, 1, root)
+            for index, entry in protocol.alloc.entries_for_file(file_id):
+                if entry.next is not None:
+                    owner = protocol.sectors[entry.next].owner
+                    protocol.file_confirm(owner, file_id, index, entry.next)
+        elif op[0] == "advance":
+            protocol.advance_time(protocol.now + op[1])
+        elif op[0] == "crash":
+            targets = sorted(protocol.sectors)
+            target = targets[op[1] % len(targets)]
+            if not protocol.sectors[target].is_corrupted:
+                protocol.crash_sector(target)
+        elif op[0] == "discard":
+            if op[1] in protocol.files:
+                protocol.file_discard("client", op[1])
+        elif op[0] == "disable":
+            targets = sorted(protocol.sectors)
+            target = targets[op[1] % len(targets)]
+            protocol.sector_disable(protocol.sectors[target].owner, target)
+    except ProtocolError as error:
+        return str(error)
+    return None
+
+
+@DIFF_SETTINGS
+@given(
+    ops=st.lists(_HYP_OP, min_size=1, max_size=12),
+    seed=st.integers(min_value=0, max_value=7),
+    backend=st.sampled_from(["reference", "vectorized"]),
+    charge_fees=st.booleans(),
+)
+def test_columnar_engine_matches_object_engine(ops, seed, backend, charge_fees):
+    """Any generated op stream leaves both engines in byte-identical state,
+    refusing exactly the same operations with the same messages."""
+    reference, columnar = _build_engine_pair(seed, backend, charge_fees)
+    for op in ops:
+        refused_ref = _apply_protocol_op(reference, op)
+        refused_col = _apply_protocol_op(columnar, op)
+        assert refused_col == refused_ref, op
+    assert _protocol_fingerprint(columnar) == _protocol_fingerprint(reference)
+
+
+@DIFF_SETTINGS
+@given(
+    ops=st.lists(_HYP_OP, min_size=1, max_size=10),
+    seed=st.integers(min_value=0, max_value=7),
+)
+def test_columnar_engine_matches_across_kernel_backends(ops, seed):
+    """The columnar engine itself is backend-independent: reference and
+    vectorized kernels replay the same op stream to identical state."""
+    protocols = {
+        backend: _build_engine_pair(seed, backend, False)[1]
+        for backend in ("reference", "vectorized")
+    }
+    for op in ops:
+        refusals = {
+            backend: _apply_protocol_op(protocol, op)
+            for backend, protocol in protocols.items()
+        }
+        assert refusals["vectorized"] == refusals["reference"], op
+    assert _protocol_fingerprint(protocols["vectorized"]) == _protocol_fingerprint(
+        protocols["reference"]
+    )

@@ -174,7 +174,7 @@ class TestBenchBackendAll:
         assert "conflicts" in capsys.readouterr().err
 
     def test_all_on_scenario_without_backend_param(self, capsys):
-        assert main(["bench", "deposit", "--backend", "all"]) == 2
+        assert main(["bench", "collision", "--backend", "all"]) == 2
         assert "no 'backend' parameter" in capsys.readouterr().err
 
     def test_unknown_backend_name_on_bench_is_an_error(self, capsys):
@@ -229,7 +229,7 @@ class TestBackendFlag:
         assert "unknown kernel backend" in capsys.readouterr().err
 
     def test_backend_flag_on_scenario_without_backend_param(self, capsys):
-        assert main(["run", "deposit", "--backend", "reference"]) == 2
+        assert main(["run", "collision", "--backend", "reference"]) == 2
         assert "no parameter 'backend'" in capsys.readouterr().err
 
 
